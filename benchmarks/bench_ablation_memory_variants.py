@@ -1,0 +1,76 @@
+"""Ablation: the T/S/M/L memory variants (design choice of Sec. II-C).
+
+Demonstrates what the variants are *for*: they shift the per-device
+workload, letting a proposal with smaller accelerator memory still run
+a valid reference workload, and they change the compute/communication
+balance the suite exposes ('the memory variants can be used to study
+artificially-limited compute profiles', Sec. V-B).
+"""
+
+import pytest
+from conftest import once
+
+from repro.cluster.hardware import DeviceSpec
+from repro.core import MemoryVariant, VariantSizing
+from repro.units import GIGA
+
+
+def test_juqcs_variant_sizes(benchmark, suite):
+    def run():
+        return {v: suite.run("JUQCS", 8, variant=v)
+                for v in (MemoryVariant.SMALL, MemoryVariant.LARGE)}
+
+    results = once(benchmark, run)
+    print("\nJUQCS variants @8 nodes:")
+    for v, res in results.items():
+        print(f"  {v.value}: {res.details['qubits']} qubits, "
+              f"FOM {res.fom_seconds:.2f} s")
+    small = results[MemoryVariant.SMALL]
+    large = results[MemoryVariant.LARGE]
+    assert large.details["qubits"] == small.details["qubits"] + 1
+    assert large.fom_seconds > 1.5 * small.fom_seconds  # 2x the data
+
+
+def test_nekrs_variant_element_counts(suite):
+    runs = {v: suite.run("nekRS", 128, variant=v)
+            for v in (MemoryVariant.SMALL, MemoryVariant.MEDIUM,
+                      MemoryVariant.LARGE)}
+    elements = [runs[v].details["elements"]
+                for v in (MemoryVariant.SMALL, MemoryVariant.MEDIUM,
+                          MemoryVariant.LARGE)]
+    assert elements[0] < elements[1] < elements[2]
+
+
+def test_variant_selection_rule(benchmark):
+    """A proposal picks the largest variant fitting its accelerator --
+    and loses access to L when memory shrinks below the reference."""
+    sizing = VariantSizing()
+
+    def pick(mem_gb):
+        dev = DeviceSpec(name=f"gpu-{mem_gb}", peak_flops=1e15,
+                         mem_capacity=mem_gb * GIGA, mem_bandwidth=3e12)
+        return sizing.best_variant(dev)
+
+    table = once(benchmark, lambda: {m: pick(m)
+                                     for m in (24, 32, 48, 96, 144)})
+    print("\nvariant choice by accelerator memory:")
+    for mem, variant in table.items():
+        print(f"  {mem:>4} GB -> {variant.value}")
+    assert table[24] is MemoryVariant.SMALL
+    assert table[32] is MemoryVariant.MEDIUM
+    assert table[48] is MemoryVariant.LARGE
+    assert table[96] is MemoryVariant.LARGE
+
+
+def test_variants_shift_comm_fraction(suite):
+    """Smaller variants shrink local work faster than halo traffic, so
+    the communication share rises -- the bottleneck-shift study the
+    paper describes."""
+    small = suite.run("Chroma-QCD", 16, variant=MemoryVariant.SMALL)
+    large = suite.run("Chroma-QCD", 16, variant=MemoryVariant.LARGE)
+
+    def comm_fraction(res):
+        return res.details["comm_seconds"] / (
+            res.details["comm_seconds"] + res.details["compute_seconds"])
+
+    assert comm_fraction(small) > comm_fraction(large)

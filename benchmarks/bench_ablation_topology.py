@@ -1,0 +1,61 @@
+"""Ablation: DragonFly+ vs a non-blocking fat tree.
+
+Shows how much of the JUQCS communication signature (Fig. 3's drops)
+comes from the DragonFly+ cell taper and the large-scale congestion
+regime: on an un-tapered fat tree the inter-cell penalties vanish and
+only the NVLink -> IB step remains.
+"""
+
+import pytest
+from conftest import once
+from dataclasses import replace
+
+from repro.cluster.hardware import juwels_booster
+from repro.cluster.network import NetworkModel
+from repro.cluster.topology import DragonflyPlus, FatTree
+from repro.units import MIB
+
+
+def _gate_time(topology_cls, nodes, nbytes=256 * MIB):
+    system = juwels_booster()
+    net = NetworkModel(system=system, topology=topology_cls(system))
+    # partner half the machine away (the JUQCS top-rank-bit exchange)
+    return net.p2p_time(0, nodes // 2, nbytes, job_nodes=nodes)
+
+
+def test_topology_ablation(benchmark):
+    def run():
+        rows = []
+        for nodes in (2, 32, 128, 512):
+            rows.append((nodes,
+                         _gate_time(DragonflyPlus, nodes),
+                         _gate_time(FatTree, nodes)))
+        return rows
+
+    rows = once(benchmark, run)
+    print("\nJUQCS-style exchange, DragonFly+ vs fat tree:")
+    for nodes, df, ft in rows:
+        print(f"  {nodes:>4} nodes: dragonfly {df * 1e3:8.2f} ms | "
+              f"fat tree {ft * 1e3:8.2f} ms | penalty x{df / ft:.2f}")
+    by_nodes = {n: (df, ft) for n, df, ft in rows}
+    # inside a cell the two topologies agree
+    df2, ft2 = by_nodes[2]
+    assert df2 == pytest.approx(ft2)
+    # across cells DragonFly+ pays the taper ...
+    df128, ft128 = by_nodes[128]
+    assert df128 > 1.2 * ft128
+    # ... and the congestion regime on top
+    df512, ft512 = by_nodes[512]
+    assert df512 > 2.0 * ft512
+    # the fat tree is flat at any scale
+    assert ft512 == pytest.approx(by_nodes[32][1], rel=1e-6)
+
+
+def test_taper_parameter_sensitivity():
+    """An un-tapered (taper = 1.0) DragonFly+ removes the first
+    inter-cell penalty but keeps the congestion regime."""
+    system = replace(juwels_booster(), cell_uplink_taper=1.0)
+    net = NetworkModel(system=system)
+    t128 = net.p2p_time(0, 64, 256 * MIB, job_nodes=128)
+    t512 = net.p2p_time(0, 256, 256 * MIB, job_nodes=512)
+    assert t512 > 1.5 * t128  # congestion survives without the taper

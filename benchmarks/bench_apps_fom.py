@@ -1,0 +1,37 @@
+"""Reference FOMs of all application benchmarks (the Fig. 2 axis
+annotations): each app runs once on its reference node count and the
+resulting time metrics are tabulated."""
+
+from conftest import once
+
+from repro.core import Category, get_info
+from repro.units import fmt_seconds
+
+APPS = ("Amber", "Arbor", "Chroma-QCD", "GROMACS", "ICON", "JUQCS",
+        "nekRS", "ParFlow", "PIConGPU", "Quantum Espresso", "SOMA",
+        "MMoCLIP", "Megatron-LM", "ResNet", "DynQCD", "NAStJA")
+
+
+def test_reference_foms(benchmark, suite):
+    def run_all():
+        return {name: suite.run(name) for name in APPS}
+
+    results = once(benchmark, run_all)
+    print("\nreference executions (Fig. 2 annotations):")
+    for name, res in results.items():
+        info = get_info(name)
+        print(f"  {name:<18} {res.nodes:>4} nodes  "
+              f"{fmt_seconds(res.fom_seconds):>10}")
+        assert res.fom_seconds > 0
+        assert Category.BASE in info.categories
+
+
+def test_all_apps_verify_in_real_mode(suite):
+    """Every application's real mode must pass its verification class."""
+    failures = []
+    for name in APPS:
+        res = suite.run(name, nodes=1 if name != "NAStJA" else 2,
+                        real=True, scale=0.4)
+        if res.verified is not True:
+            failures.append((name, res.verification))
+    assert not failures, failures

@@ -1,0 +1,32 @@
+"""Arbor cost centres and communication hiding (Sec. IV-A2a text):
+'Profiling shows two cost centers: 52 % ion channels and 33 % cable
+equation; hiding communication completely.'"""
+
+import pytest
+from conftest import once
+
+
+def test_arbor_cost_centres(benchmark, suite):
+    res = once(benchmark, suite.run, "Arbor", 8)
+    print(f"\nArbor profile @8 nodes: channels "
+          f"{res.details['channel_share'] * 100:.0f} %, cable "
+          f"{res.details['cable_share'] * 100:.0f} %, comm "
+          f"{res.details['comm_seconds']:.2f} s of "
+          f"{res.fom_seconds:.0f} s")
+    assert res.details["channel_share"] == pytest.approx(0.52, abs=0.02)
+    assert res.details["cable_share"] == pytest.approx(0.33, abs=0.02)
+
+
+def test_arbor_communication_hidden(suite):
+    res = suite.run("Arbor", 16)
+    assert res.details["comm_seconds"] < \
+        0.05 * res.details["compute_seconds"]
+
+
+def test_arbor_memory_pressure_point(suite):
+    """The 4-node Fig. 2 anomaly: the L workload does not fit, so the
+    run is clamped and sits *below* the perfect-scaling line."""
+    res = suite.run("Arbor", 4)
+    assert res.details["workload_clamped"]
+    ref = suite.run("Arbor", 8)
+    assert res.fom_seconds < 2 * ref.fom_seconds  # below 2x, not above

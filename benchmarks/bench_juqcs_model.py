@@ -1,0 +1,71 @@
+"""JUQCS quantitative claims (Sec. IV-A2c text): memory law, variant
+sizes, exascale extrapolation targets, and the network model regimes."""
+
+import pytest
+from conftest import once
+
+from repro.analysis import JuqcsNetworkModel
+from repro.apps.juqcs import (
+    BASE_QUBITS,
+    EXA_QUBITS,
+    HS_QUBITS,
+    JuqcsBenchmark,
+    state_vector_bytes,
+)
+from repro.core import MemoryVariant
+from repro.units import PIB, TIB
+
+
+def test_memory_law(benchmark):
+    sizes = once(benchmark, lambda: {n: state_vector_bytes(n)
+                                     for n in (36, 41, 42, 45, 46)})
+    print("\nJUQCS state-vector sizes:")
+    for n, b in sizes.items():
+        print(f"  n={n}: {b / TIB:8.1f} TiB")
+    assert sizes[36] == pytest.approx(TIB)          # Base: 1 TiB
+    assert sizes[41] == pytest.approx(32 * TIB)     # HS small
+    assert sizes[42] == pytest.approx(64 * TIB)     # HS large
+    assert sizes[45] == pytest.approx(0.5 * PIB)    # exascale small
+
+
+def test_variant_tables():
+    assert BASE_QUBITS == 36
+    assert HS_QUBITS[MemoryVariant.SMALL] == 41
+    assert HS_QUBITS[MemoryVariant.LARGE] == 42
+    assert EXA_QUBITS[MemoryVariant.SMALL] == 45
+    assert EXA_QUBITS[MemoryVariant.LARGE] == 46
+
+
+def test_network_model_regimes(benchmark):
+    model = JuqcsNetworkModel()
+    rows = once(benchmark, lambda: [
+        (ranks, model.regime(ranks),
+         model.worst_gate_seconds(41, ranks))
+        for ranks in (4, 8, 64, 512, 2048)])
+    print("\nJUQCS network model (n = 41, worst rank-bit gate):")
+    for ranks, regime, sec in rows:
+        print(f"  {ranks:>5} ranks  {regime:<12} {sec * 1e3:9.2f} ms")
+    regimes = {r: reg for r, reg, _ in rows}
+    assert regimes[4] == "intra-node"       # 1 node
+    assert regimes[64] == "intra-cell"      # 16 nodes
+    assert regimes[512] == "inter-cell"     # 128 nodes
+    assert regimes[2048] == "large-scale"   # 512 nodes
+
+
+def test_half_of_memory_crosses_network(benchmark):
+    """Sec. IV-A2c: non-local gates transfer 2^n / 2 amplitudes."""
+    bench = JuqcsBenchmark()
+    res = once(benchmark, bench.run, 2)
+    n = res.details["qubits"]
+    total_sent = sum(t.bytes_sent for t in res.spmd.traces)
+    expected = res.details["gates"] * state_vector_bytes(n) / 2
+    assert total_sent == pytest.approx(expected, rel=0.01)
+
+
+def test_msa_variant(benchmark, suite):
+    """The Cluster+Booster MSA execution, exactly verified."""
+    bench = suite.get("JUQCS")
+    res = once(benchmark, bench.run_msa, 2, 2)
+    print(f"\nMSA run: {res.details['qubits']} qubits across modules -- "
+          f"{res.verification}")
+    assert res.verified is True

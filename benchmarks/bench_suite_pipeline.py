@@ -1,0 +1,32 @@
+"""The Fig. 1 suite-creation pipeline: workload analysis -> selection ->
+preparation (11-point checklist) -> optimisation loop -> packaging."""
+
+from conftest import once
+
+from repro.core import CHECKLIST, creation_pipeline
+
+ALLOCATIONS = {
+    "Climate": 22.0, "QCD": 18.0, "MD": 16.0, "Neuroscience": 9.0,
+    "CFD": 8.0, "Materials Science": 8.0, "AI": 7.0, "Plasma": 5.0,
+    "Earth Systems": 4.0, "Biology": 2.0, "Exotic": 0.5,
+}
+CANDIDATES = {
+    "ICON": "Climate", "Chroma-QCD": "QCD", "DynQCD": "QCD",
+    "GROMACS": "MD", "Amber": "MD", "Arbor": "Neuroscience",
+    "nekRS": "CFD", "Quantum Espresso": "Materials Science",
+    "Megatron-LM": "AI", "MMoCLIP": "AI", "PIConGPU": "Plasma",
+    "ParFlow": "Earth Systems", "NAStJA": "Biology",
+    "HypeCode2000": "Exotic",
+}
+
+
+def test_pipeline(benchmark):
+    state = once(benchmark, creation_pipeline, ALLOCATIONS, CANDIDATES)
+    print("\nsuite-creation pipeline:")
+    for line in state.log:
+        print(f"  - {line}")
+    assert len(CHECKLIST) == 11
+    assert "ICON" in state.packaged
+    assert "HypeCode2000" not in state.packaged  # niche domain dropped
+    assert state.optimisation_rounds == 2
+    assert abs(sum(state.workload_analysis.values()) - 1.0) < 1e-12

@@ -1,0 +1,63 @@
+"""IOR and LinkTest experiments (Sec. IV-B text), plus the OSU sweep."""
+
+import pytest
+from conftest import once
+
+from repro.synthetic import IorBenchmark, LinktestBenchmark, OsuBenchmark
+from repro.units import GIGA, MIB
+
+
+def test_ior_easy_vs_hard(benchmark, suite):
+    """Easy (16 MiB, file-per-process) must dominate hard (4 KiB shared
+    file with lock contention) -- the design intent of the variants."""
+    def run():
+        easy = IorBenchmark("easy").run(nodes=128)
+        hard = IorBenchmark("hard").run(nodes=128)
+        return easy, hard
+
+    easy, hard = once(benchmark, run)
+    print(f"\nIOR @128 nodes: easy write "
+          f"{easy.details['write_bandwidth'] / GIGA:.0f} GB/s, hard write "
+          f"{hard.details['write_bandwidth'] / GIGA:.0f} GB/s")
+    assert easy.details["transfer_size"] == 16 * MIB
+    assert easy.details["write_bandwidth"] > \
+        3 * hard.details["write_bandwidth"]
+    assert easy.details["read_bandwidth"] >= easy.details["write_bandwidth"]
+
+
+def test_ior_functional_lock_conflicts(suite):
+    easy = IorBenchmark("easy").run(nodes=4, real=True)
+    hard = IorBenchmark("hard").run(nodes=4, real=True)
+    assert easy.verified and hard.verified
+    assert easy.details["lock_conflicts"] == 0
+    assert hard.details["lock_conflicts"] > 0
+
+
+def test_linktest_bisection_sweep(benchmark):
+    def run():
+        return [(n, LinktestBenchmark().run(nodes=n)
+                 .details["aggregate_bandwidth"]) for n in (16, 48, 96,
+                                                            192, 384)]
+
+    rows = once(benchmark, run)
+    print("\nLinkTest minimum bisection bandwidth:")
+    for nodes, bw in rows:
+        print(f"  {nodes:>4} nodes: {bw / 1e12:7.2f} TB/s")
+    # monotone in job size; tapered beyond one cell
+    bws = dict(rows)
+    assert bws[96] > bws[48]
+    per_node_cell = bws[48] / 24
+    per_node_cross = bws[384] / 192
+    assert per_node_cross < per_node_cell  # the DragonFly+ taper
+
+
+def test_osu_latency_bandwidth(benchmark):
+    osu = OsuBenchmark()
+    sweep = once(benchmark, osu.sweep, True)
+    print("\nOSU inter-node sweep (size, one-way time):")
+    for size, sec in sweep:
+        print(f"  {size:>10} B  {sec * 1e6:10.2f} us")
+    small = sweep[0][1]
+    big_size, big_t = sweep[-1]
+    assert small == pytest.approx(5e-6, rel=0.2)     # HDR latency floor
+    assert big_size / big_t > 10 * GIGA              # bandwidth regime

@@ -1,0 +1,18 @@
+"""Regenerate Table I: benchmarks vs domains vs Berkeley dwarfs."""
+
+from conftest import once
+
+from repro.analysis import render_table1, table1_records
+from repro.core import BENCHMARKS
+
+
+def test_table1(benchmark):
+    text = once(benchmark, render_table1)
+    print("\n" + text)
+    # every benchmark appears with at least one dwarf mark
+    records = table1_records()
+    assert len(records) == len(BENCHMARKS) == 23
+    for rec in records:
+        marks = [v for k, v in rec.params.items()
+                 if v == "x" or (k == "other" and v)]
+        assert marks, f"{rec.params['benchmark']} has no dwarf"

@@ -1,0 +1,21 @@
+"""Regenerate Table II: the suite overview (languages, licences, node
+counts, memory variants, execution targets)."""
+
+from conftest import once
+
+from repro.analysis import render_table2, table2_records
+
+
+def test_table2(benchmark):
+    text = once(benchmark, render_table2)
+    print("\n" + text)
+    records = {r.params["benchmark"].rstrip("*"): r.params
+               for r in table2_records()}
+    # spot-check the paper's rows
+    assert records["Arbor"]["highscale"] == "642^{T,S,M,L}"
+    assert records["Chroma-QCD"]["highscale"] == "512^{S,M,L}"
+    assert records["JUQCS"]["highscale"] == "512^{S,L}"
+    assert records["PIConGPU"]["highscale"] == "640^{S,M,L}"
+    assert records["GROMACS"]["base_nodes"] == "3/128"
+    assert records["ICON"]["base_nodes"] == "120/300"
+    assert "C" in records["NAStJA"]["targets"]  # CPU module

@@ -1,0 +1,103 @@
+"""The procurement methodology experiments (Sec. II-B/II-C text).
+
+Exercises the TCO value-for-money computation and the High-Scaling
+ratio assessment end-to-end with two synthetic proposals, asserting the
+decision-relevant properties: faster/cheaper proposals win, rule
+violations disqualify, and the 50 PF -> 1 EF scale-up constants hold.
+"""
+
+import pytest
+from conftest import once
+
+from repro.cluster.hardware import jupiter_booster_model
+from repro.core import (
+    SCALE_UP,
+    HighScalingCase,
+    HighScalingCommitment,
+    MemoryVariant,
+    ProcurementEvaluation,
+    SystemProposal,
+    WorkloadMix,
+    prep_partition_nodes,
+)
+
+
+@pytest.fixture(scope="module")
+def references(suite):
+    mix = (WorkloadMix().add("GROMACS", 3.0).add("Arbor", 2.0)
+           .add("JUQCS", 1.0).add("nekRS", 2.0))
+    refs = {e.benchmark: suite.reference_run(e.benchmark)
+            for e in mix.entries}
+    return mix, refs
+
+
+def _evaluation(suite, mix, refs):
+    cases = {"JUQCS": HighScalingCase(
+        "JUQCS", variants=(MemoryVariant.SMALL, MemoryVariant.LARGE),
+        power_of_two=True)}
+    hs_ref = suite.run("JUQCS", cases["JUQCS"].prep_nodes(),
+                       variant=MemoryVariant.LARGE).fom_seconds
+    return ProcurementEvaluation(mix=mix, references=refs,
+                                 highscaling_cases=cases,
+                                 highscaling_references={"JUQCS": hs_ref})
+
+
+def _proposal(name, refs, speedup, capex=250e6):
+    prop = SystemProposal(name=name, system=jupiter_booster_model(),
+                          capex_eur=capex)
+    for bench, ref in refs.items():
+        prop.commit(bench, nodes=max(1, ref.nodes // 2),
+                    time_metric=ref.time_metric / speedup)
+    return prop
+
+
+def test_partition_constants():
+    assert 600 <= prep_partition_nodes() <= 680
+    assert prep_partition_nodes(power_of_two=True) == 512
+    assert SCALE_UP == pytest.approx(20.0)
+
+
+def test_procurement_ranking(benchmark, suite, references):
+    mix, refs = references
+    evaluation = _evaluation(suite, mix, refs)
+    hs_ref = evaluation.hs_references["JUQCS"]
+    candidates = [
+        (_proposal("evolution", refs, speedup=2.0),
+         {"JUQCS": HighScalingCommitment("JUQCS", MemoryVariant.LARGE,
+                                         hs_ref / 2.0)}),
+        (_proposal("bold", refs, speedup=3.2),
+         {"JUQCS": HighScalingCommitment("JUQCS", MemoryVariant.LARGE,
+                                         hs_ref / 3.0)}),
+    ]
+    ranked = once(benchmark, evaluation.select, candidates)
+    print("\nprocurement ranking:")
+    for score in ranked:
+        print(f"  {score.proposal:<12} vfm={score.value_for_money:.1f} "
+              f"hs-ratio={score.mean_highscaling_ratio:.3f} "
+              f"combined={score.combined_score():.1f}")
+    assert [s.proposal for s in ranked] == ["bold", "evolution"]
+    assert all(s.valid for s in ranked)
+
+
+def test_rule_violation_disqualifies(suite, references):
+    mix, refs = references
+    evaluation = _evaluation(suite, mix, refs)
+    cheater = _proposal("cheater", refs, speedup=50.0)
+    score = evaluation.score(cheater, {})  # no High-Scaling commitment
+    assert not score.valid
+    assert score.value_for_money == 0.0
+
+
+def test_energy_price_changes_ranking(suite, references):
+    mix, refs = references
+    evaluation = _evaluation(suite, mix, refs)
+    hs = {"JUQCS": HighScalingCommitment(
+        "JUQCS", MemoryVariant.LARGE, evaluation.hs_references["JUQCS"])}
+    frugal = _proposal("frugal", refs, speedup=2.0)
+    frugal.eur_per_kwh = 0.05
+    pricey = _proposal("pricey", refs, speedup=2.0)
+    pricey.eur_per_kwh = 0.45
+    scores = {s.proposal: s for s in evaluation.select(
+        [(frugal, hs), (pricey, hs)])}
+    assert scores["frugal"].value_for_money > \
+        scores["pricey"].value_for_money

@@ -1,0 +1,22 @@
+"""Shared fixtures for the figure/table regeneration benches.
+
+Every bench prints the regenerated artefact (run pytest with ``-s`` to
+see it) and times the regeneration via pytest-benchmark.  Node sweeps
+are the paper's where tractable; EXPERIMENTS.md records the mapping.
+"""
+
+import pytest
+
+from repro.core import load_suite
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The fully registered suite, shared across benches."""
+    return load_suite()
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an expensive regeneration exactly once under the timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Author a benchmark the JUBE way (Sec. III-B of the paper).
+
+Defines a suite-style benchmark as a JUBE workflow: parameter sets with
+``$ref`` substitution and python-mode evaluation, tag-selected memory
+variants, a compile -> execute -> verify step DAG, and a result table
+with the FOM -- then runs it through the in-process JUBE runtime over
+the simulated batch system.
+"""
+
+from repro.core import MemoryVariant, load_suite
+from repro.jube import (
+    JUWELS_BOOSTER,
+    BenchmarkSpec,
+    JubeRuntime,
+    ParameterSet,
+    Step,
+    table,
+)
+
+suite = load_suite()
+
+# -- the "JUBE script": parameters -----------------------------------------
+
+params = (
+    ParameterSet("juqcs")
+    .add("benchmark", "JUQCS")
+    .add("nodes", [1, 2, 4, 8])                     # a workunit per count
+    .add("tasks", "$nodes * $gpus_per_node", mode="python")
+    .add("variant", "L")
+    .add("variant", "S", tags=["small-memory"])      # tag-selected override
+    .add("walltime", 3600)
+)
+
+# -- the step DAG ------------------------------------------------------------
+
+
+def compile_step(ctx):
+    """'Compilation': resolve the benchmark implementation."""
+    return {"binary": f"juqcs-{ctx.params['variant'].lower()}"}
+
+
+def execute_step(ctx):
+    """Run on the simulated machine; emit the FOM."""
+    result = suite.run(ctx.params["benchmark"], ctx.params["nodes"],
+                       variant=MemoryVariant.from_label(
+                           ctx.params["variant"]))
+    return {"fom_seconds": result.fom_seconds,
+            "qubits": result.details["qubits"],
+            "comm_seconds": result.details["comm_seconds"]}
+
+
+def verify_step(ctx):
+    """Exact verification on a small real run (the suite rule)."""
+    result = suite.run(ctx.params["benchmark"], ctx.params["nodes"],
+                       real=True)
+    return {"verified": bool(result.verified),
+            "verification": result.verification}
+
+
+spec = BenchmarkSpec(
+    name="juqcs-sweep",
+    platform=JUWELS_BOOSTER,
+    parametersets=[params],
+    steps=[
+        Step("compile", tasks=[compile_step]),
+        Step("execute", tasks=[execute_step], depends=("compile",)),
+        Step("verify", tasks=[verify_step], depends=("execute",)),
+    ],
+    tables=[table("result",
+                  "nodes", "tasks", "variant", "qubits",
+                  ("fom_seconds", "FOM [s]", ".2f"),
+                  ("comm_seconds", "comm [s]", ".2f"),
+                  "verified",
+                  sort_by="nodes")],
+)
+
+# -- run ---------------------------------------------------------------------
+
+print("running the JUQCS sweep through the JUBE runtime "
+      "(large-memory variant)...\n")
+run = JubeRuntime().run(spec)
+print(run.render(spec.tables[0]))
+
+print("\nsame spec with the 'small-memory' tag active:\n")
+run_small = JubeRuntime().run(spec, tags=["small-memory"])
+print(run_small.render(spec.tables[0]))

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""An end-to-end procurement evaluation (Sec. II of the paper).
+
+Plays both sides of the JUPITER procurement:
+
+* the *site* measures reference time metrics on the preparation system
+  and defines the workload mix, the High-Scaling cases and the rules;
+* two *bidders* propose system designs (built from the parametric
+  JUPITER model), choose memory variants that fit their accelerators,
+  and commit runtimes;
+* the evaluation validates the commitments against the rules and ranks
+  the proposals by TCO value-for-money combined with the High-Scaling
+  ratios.
+"""
+
+from repro.cluster.hardware import jupiter_booster_model
+from repro.core import (
+    HighScalingCase,
+    HighScalingCommitment,
+    MemoryVariant,
+    ProcurementEvaluation,
+    ReferenceResult,
+    SystemProposal,
+    WorkloadMix,
+    load_suite,
+    prep_partition_nodes,
+)
+from repro.units import fmt_seconds
+
+suite = load_suite()
+
+# -- the site side ----------------------------------------------------------
+
+print("=" * 72)
+print("SITE: reference executions on the simulated preparation system")
+print("=" * 72)
+mix = (WorkloadMix()
+       .add("GROMACS", 3.0)     # classical simulation backbone
+       .add("Arbor", 2.0)
+       .add("nekRS", 2.0)
+       .add("Quantum Espresso", 2.0)
+       .add("Megatron-LM", 1.5)  # the rising AI share
+       .add("JUQCS", 1.0))
+references: dict[str, ReferenceResult] = {}
+for entry in mix.entries:
+    ref = suite.reference_run(entry.benchmark)
+    references[entry.benchmark] = ref
+    print(f"  {entry.benchmark:<18} weight {entry.weight:3.1f}  "
+          f"{ref.nodes:>4} nodes  {fmt_seconds(ref.time_metric)}")
+
+print(f"\nHigh-Scaling preparation partition: "
+      f"{prep_partition_nodes()} nodes (50 PFLOP/s th);"
+      f" power-of-two codes use {prep_partition_nodes(power_of_two=True)}")
+
+cases = {
+    "JUQCS": HighScalingCase("JUQCS",
+                             variants=(MemoryVariant.SMALL,
+                                       MemoryVariant.LARGE),
+                             power_of_two=True),
+    "Arbor": HighScalingCase("Arbor", variants=tuple(MemoryVariant)),
+}
+hs_refs = {}
+for name, case in cases.items():
+    res = suite.run(name, case.prep_nodes(),
+                    variant=case.variants[-1])
+    hs_refs[name] = res.fom_seconds
+    print(f"  HS reference {name:<8} {res.nodes:>4} nodes  "
+          f"{fmt_seconds(res.fom_seconds)}")
+
+evaluation = ProcurementEvaluation(
+    mix=mix, references=references,
+    highscaling_cases=cases, highscaling_references=hs_refs)
+
+# -- the bidder side --------------------------------------------------------
+
+print()
+print("=" * 72)
+print("BIDDERS: proposals with commitments")
+print("=" * 72)
+candidates = []
+for name, gpu_speedup, mem, capex in (
+        ("vendor-evolution", 3.2, 96e9, 240e6),
+        ("vendor-bold", 4.5, 64e9, 290e6)):
+    system = jupiter_booster_model(gpu_speedup=gpu_speedup,
+                                   mem_per_device=mem)
+    proposal = SystemProposal(name=name, system=system, capex_eur=capex)
+    # Base commitments: scale each reference by the proposal's speedup
+    for bench, ref in references.items():
+        proposal.commit(bench, nodes=max(1, ref.nodes // 2),
+                        time_metric=ref.time_metric / gpu_speedup * 1.15)
+    # High-Scaling commitments: pick the variant that fits the device
+    hs_commitments = {}
+    for bench, case in cases.items():
+        variant = case.choose_variant(system)
+        hs_commitments[bench] = HighScalingCommitment(
+            benchmark=bench, variant=variant,
+            runtime=hs_refs[bench] / gpu_speedup * 1.3)
+        print(f"  {name}: {bench} commits variant {variant.value}")
+    candidates.append((proposal, hs_commitments))
+
+# -- evaluation -------------------------------------------------------------
+
+print()
+print("=" * 72)
+print("EVALUATION: rule validation + combined scoring")
+print("=" * 72)
+for score in evaluation.select(candidates):
+    status = "valid" if score.valid else "INVALID"
+    print(f"\n  {score.proposal}  [{status}]")
+    if score.violations:
+        for violation in score.violations:
+            print(f"    rule violation: {violation.benchmark}: "
+                  f"{violation.rule}")
+        continue
+    print(f"    value-for-money       : {score.value_for_money:.1f} "
+          "workloads per MEUR")
+    print(f"    mean High-Scaling ratio: {score.mean_highscaling_ratio:.3f}"
+          " (committed / reference; < 1 beats the prep system)")
+    print(f"    combined score        : {score.combined_score():.1f}")

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: load the suite, run benchmarks, verify results.
+
+Covers the three things a new user does first:
+
+1. list what is in the suite (the paper's 23 benchmarks),
+2. run a benchmark in *real* mode -- the actual algorithm executes and
+   is verified (here: JUQCS, whose distributed state vector is checked
+   bit-for-bit against the serial reference),
+3. run the same benchmark in *timing* mode at paper scale -- the
+   identical communication/compute structure with phantom payloads,
+   priced by the machine model of JUWELS Booster.
+"""
+
+from repro.core import Category, get_info, load_suite
+from repro.units import fmt_bytes, fmt_seconds
+
+suite = load_suite()
+
+print("=" * 70)
+print("The JUPITER Benchmark Suite:", len(suite.names()), "benchmarks")
+print("=" * 70)
+for category in Category:
+    names = [i.name for i in suite.infos(category)]
+    print(f"{category.value:>14}: {', '.join(names)}")
+
+print()
+print("=" * 70)
+print("1. Real (verifying) run: JUQCS on 2 simulated nodes")
+print("=" * 70)
+result = suite.run("JUQCS", nodes=2, real=True)
+print(f"qubits simulated : {result.details['qubits']}")
+print(f"verification     : {result.verification}")
+assert result.verified, "exact verification must pass"
+
+print()
+print("=" * 70)
+print("2. Timing run: the Base workload (n = 36 qubits, 1 TiB) on the")
+print("   reference 8 nodes of the simulated JUWELS Booster")
+print("=" * 70)
+result = suite.run("JUQCS", nodes=8)
+print(f"state vector     : {fmt_bytes(result.details['state_bytes'])}")
+print(f"gates applied    : {result.details['gates']} "
+      f"({result.details['nonlocal_gates']} moving half of all memory)")
+print(f"FOM time metric  : {fmt_seconds(result.fom_seconds)}")
+print(f"communication    : {fmt_seconds(result.details['comm_seconds'])} "
+      f"of the critical path")
+
+print()
+print("=" * 70)
+print("3. Reference executions for a few Base benchmarks")
+print("=" * 70)
+for name in ("Arbor", "GROMACS", "nekRS"):
+    info = get_info(name)
+    res = suite.run(name)
+    print(f"{name:<10} {info.reference_nodes:>4} nodes  "
+          f"FOM = {fmt_seconds(res.fom_seconds)}")
+
+print()
+print("done -- see examples/scaling_studies.py for the paper's figures")

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Reproduce the paper's scalability studies (Figures 2 and 3).
+
+Figure 2: strong scaling of the Base applications around their
+reference node counts -- including the published Arbor anchor points
+(663 s @ 4 nodes, 498 @ 8, 332 @ 12, 250 @ 16).
+
+Figure 3: weak-scaling efficiency of the five High-Scaling benchmarks,
+with JUQCS' computation/communication split showing the two drops the
+paper highlights (NVLink -> InfiniBand at 2 nodes; the large-scale
+congestion regime at >= 256 nodes).
+"""
+
+from repro.analysis import figure2, figure3
+from repro.core import load_suite
+
+suite = load_suite()
+
+print("=" * 70)
+print("Figure 2 -- Base applications (subset for speed)")
+print("=" * 70)
+fig2 = figure2(suite, apps=(
+    ("Arbor", False),
+    ("GROMACS", False),
+    ("Amber", False),
+    ("JUQCS", True),
+    ("nekRS", False),
+    ("PIConGPU", False),
+    ("Quantum Espresso", False),
+))
+print(fig2.render())
+
+arbor = fig2.curves["Arbor"]
+print()
+print("Arbor vs the paper's published points:")
+paper = {4: 663.0, 8: 498.0, 12: 332.0, 16: 250.0}
+for point in sorted(arbor.points, key=lambda p: p.nodes):
+    expected = paper.get(point.nodes)
+    if expected:
+        err = abs(point.runtime - expected) / expected * 100
+        print(f"  {point.nodes:>3} nodes: measured {point.runtime:6.0f} s, "
+              f"paper {expected:6.0f} s  ({err:.1f} % off)")
+
+print()
+print("=" * 70)
+print("Figure 3 -- High-Scaling weak-scaling efficiency")
+print("=" * 70)
+fig3 = figure3(suite, nodes=(8, 16, 32, 64, 128, 256))
+print(fig3.render())
+
+print()
+print("JUQCS communication regimes (the two drops):")
+comm = dict(fig3.juqcs_comm)
+nodes = sorted(comm)
+for a, b in zip(nodes, nodes[1:]):
+    change = comm[b] / comm[a]
+    marker = "  <-- drop" if change < 0.9 else ""
+    print(f"  {a:>4} -> {b:>4} nodes: comm efficiency x{change:.2f}{marker}")

@@ -1,0 +1,20 @@
+"""Reproduction of "Application-Driven Exascale: The JUPITER Benchmark Suite".
+
+Top-level subpackages:
+
+* :mod:`repro.cluster` -- simulated machine (hardware, topology, network,
+  storage, scheduler, energy),
+* :mod:`repro.vmpi` -- deterministic virtual-MPI SPMD engine,
+* :mod:`repro.jube` -- JUBE-style workflow environment,
+* :mod:`repro.core` -- the procurement methodology (FOMs, categories,
+  memory variants, TCO, High-Scaling extrapolation, suite registry),
+* :mod:`repro.apps` -- the 16 application benchmarks,
+* :mod:`repro.synthetic` -- the 7 synthetic benchmarks,
+* :mod:`repro.analysis` -- tables, figures and performance models.
+"""
+
+from .core.suite import load_suite
+
+__version__ = "1.0.0"
+
+__all__ = ["load_suite", "__version__"]

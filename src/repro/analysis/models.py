@@ -1,0 +1,152 @@
+"""The application performance models Sec. V-A highlights.
+
+"To understand the performance characteristics on a future system
+better, it proved useful for some application developers to create
+models of their applications":
+
+* the **JUQCS network model** -- per-gate communication time from the
+  link class of each pairwise exchange, explaining the drops at 1->2
+  nodes and >= 256 nodes;
+* the **nekRS predictor** -- extrapolate the per-step cost measured
+  over a short prefix to the full simulation ("predict the performance
+  of a later part of the simulation early in the process");
+* the **PIConGPU scaling model** -- valid simulation parameters
+  (grid/node limits) from the 3D decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.hardware import SystemSpec, juwels_booster
+from ..cluster.network import NetworkModel
+from ..units import BYTES_PER_COMPLEX128
+
+
+@dataclass(frozen=True)
+class JuqcsNetworkModel:
+    """Analytic communication time of JUQCS' non-local gates.
+
+    A gate on a rank-bit qubit pairs every rank with a partner at
+    hamming distance one in the rank index; each rank ships half its
+    local state.  The pair's link class depends on the rank-bit
+    position: low bits stay inside a node (NVLink), middle bits inside
+    a cell, high bits cross cells -- with large-job congestion on top.
+    This is the model that "can be employed to understand topological
+    aspects of the high-speed network" (Sec. V-A).
+    """
+
+    system: SystemSpec = None  # type: ignore[assignment]
+    ranks_per_node: int = 4
+
+    def __post_init__(self) -> None:
+        if self.system is None:
+            object.__setattr__(self, "system", juwels_booster())
+
+    def gate_comm_seconds(self, qubits: int, nranks: int,
+                          rank_bit: int) -> float:
+        """Time of one non-local gate on the given rank bit."""
+        p = int(np.log2(nranks))
+        if not 0 <= rank_bit < p:
+            raise ValueError(f"rank bit {rank_bit} outside 0..{p - 1}")
+        local_amps = 2 ** (qubits - p)
+        nbytes = local_amps / 2 * BYTES_PER_COMPLEX128
+        net = NetworkModel(system=self.system)
+        nodes = max(1, nranks // self.ranks_per_node)
+        src = 0
+        dst_rank = 1 << rank_bit
+        dst = dst_rank // self.ranks_per_node
+        return net.p2p_time(src, dst, nbytes, job_nodes=nodes)
+
+    def worst_gate_seconds(self, qubits: int, nranks: int) -> float:
+        """The slowest rank-bit gate (the benchmark's critical cost)."""
+        p = int(np.log2(nranks))
+        if p == 0:
+            return 0.0
+        return max(self.gate_comm_seconds(qubits, nranks, b)
+                   for b in range(p))
+
+    def regime(self, nranks: int) -> str:
+        """Which communication regime a job of this size sits in."""
+        nodes = max(1, nranks // self.ranks_per_node)
+        if nodes <= 1:
+            return "intra-node"
+        if nodes <= self.system.nodes_per_cell:
+            return "intra-cell"
+        if nodes < self.system.large_scale_threshold_nodes:
+            return "inter-cell"
+        return "large-scale"
+
+
+@dataclass(frozen=True)
+class NekrsPredictor:
+    """Early prediction of a long run from a measured prefix.
+
+    nekRS steps have near-constant cost once the solver settles, so
+    ``predict(total_steps)`` from a few measured steps (skipping the
+    warm-up) estimates the full runtime -- "allowing much shorter and
+    more resource-efficient benchmarks" (Sec. V-A).
+    """
+
+    warmup_steps: int = 2
+
+    def predict(self, step_times: list[float], total_steps: int) -> float:
+        """Extrapolate total runtime from a prefix of per-step times."""
+        if total_steps < len(step_times):
+            raise ValueError("total_steps smaller than the measured prefix")
+        if len(step_times) <= self.warmup_steps:
+            raise ValueError("need more measured steps than warm-up")
+        settled = step_times[self.warmup_steps:]
+        per_step = float(np.mean(settled))
+        warmup = float(np.sum(step_times[:self.warmup_steps]))
+        return warmup + per_step * (total_steps - self.warmup_steps)
+
+    def relative_error(self, step_times: list[float],
+                       total_steps: int, actual: float) -> float:
+        """|prediction - actual| / actual."""
+        return abs(self.predict(step_times, total_steps) - actual) / actual
+
+
+@dataclass(frozen=True)
+class PicongpuScalingModel:
+    """Valid-parameter rules from the 3D domain decomposition.
+
+    Sec. V-A: "a model for the scaling behaviour could be developed,
+    informing valid simulation parameters for the benchmark setup" --
+    and Sec. IV-A2e's concrete consequence: at most 640 nodes for the
+    (4096, 2048, 1024)-class grids.
+    """
+
+    min_cells_per_gpu_edge: int = 64
+
+    def max_nodes(self, grid: tuple[int, int, int],
+                  limit: int = 642, gpus_per_node: int = 4) -> int:
+        """Largest node count <= ``limit`` with a valid 3D decomposition:
+        all extents divide evenly among near-cubic factors and every GPU
+        keeps at least ``min_cells_per_gpu_edge`` cells per direction.
+
+        For the S/M/L grids and ``limit = 642`` (the High-Scaling
+        partition) this yields 640 -- the paper's stated cap.
+        """
+        for nodes in range(limit, 0, -1):
+            if self.valid(grid, nodes, gpus_per_node):
+                return nodes
+        return 1
+
+    def valid(self, grid: tuple[int, int, int], nodes: int,
+              gpus_per_node: int = 4) -> bool:
+        """Whether a node count admits a balanced 3D decomposition.
+
+        Blocks may be slightly uneven (PIConGPU pads), but every GPU
+        must keep at least ``min_cells_per_gpu_edge`` cells per
+        direction -- node counts whose prime factors force a long thin
+        factorisation (like 642*4 = 2^3 * 3 * 107) fail this.
+        """
+        from ..vmpi.decomposition import dims_create
+
+        gpus = nodes * gpus_per_node
+        dims = dims_create(gpus, 3, extents=grid)
+        return all(g // d >= self.min_cells_per_gpu_edge
+                   for g, d in zip(sorted(grid, reverse=True), dims))

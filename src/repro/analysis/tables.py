@@ -1,0 +1,115 @@
+"""Reproduction of the paper's Tables I and II from the registry.
+
+Table I relates every benchmark to its scientific domain and Berkeley
+dwarfs; Table II lists languages/libraries/programming models,
+licences, Base and High-Scaling node counts with memory variants, and
+execution targets.  Both render as aligned ASCII using the JUBE result-
+table machinery, so the bench output is directly comparable with the
+paper's layout.
+"""
+
+from __future__ import annotations
+
+from ..core.benchmark import BenchmarkInfo, Category, Dwarf, Target
+from ..core.registry import BENCHMARKS
+from ..core.variants import variant_labels
+from ..jube.result import Column, ResultTable, WorkunitRecord
+
+#: the dwarf columns of Table I, in the paper's order
+TABLE1_DWARFS = (
+    Dwarf.DENSE_LA,
+    Dwarf.SPARSE_LA,
+    Dwarf.SPECTRAL,
+    Dwarf.PARTICLE,
+    Dwarf.STRUCTURED_GRID,
+    Dwarf.UNSTRUCTURED_GRID,
+    Dwarf.MONTE_CARLO,
+)
+
+_SHORT = {
+    Dwarf.DENSE_LA: "DenseLA",
+    Dwarf.SPARSE_LA: "SparseLA",
+    Dwarf.SPECTRAL: "Spectral",
+    Dwarf.PARTICLE: "Particle",
+    Dwarf.STRUCTURED_GRID: "StructGrid",
+    Dwarf.UNSTRUCTURED_GRID: "UnstrGrid",
+    Dwarf.MONTE_CARLO: "MonteCarlo",
+}
+
+
+def _mark(info: BenchmarkInfo) -> str:
+    return "*" if not info.used_in_procurement else ""
+
+
+def table1_records() -> list[WorkunitRecord]:
+    """One record per benchmark with its domain and dwarf marks."""
+    records = []
+    for info in BENCHMARKS:
+        params: dict[str, object] = {
+            "benchmark": info.name + _mark(info),
+            "domain": info.domain,
+        }
+        for dwarf in TABLE1_DWARFS:
+            params[_SHORT[dwarf]] = "x" if dwarf in info.dwarfs else ""
+        other = [d for d in info.dwarfs if d not in TABLE1_DWARFS]
+        params["other"] = ", ".join(d.value for d in other)
+        records.append(WorkunitRecord(params=params, outputs={}))
+    return records
+
+
+def table1() -> ResultTable:
+    """The Table I renderer."""
+    cols = [Column(key="benchmark", title="Benchmark"),
+            Column(key="domain", title="Domain")]
+    cols += [Column(key=_SHORT[d], title=_SHORT[d]) for d in TABLE1_DWARFS]
+    cols.append(Column(key="other", title="Other"))
+    return ResultTable(name="Table I", columns=cols)
+
+
+def render_table1() -> str:
+    """Table I as ASCII text."""
+    return table1().render(table1_records())
+
+
+def table2_records() -> list[WorkunitRecord]:
+    """One record per benchmark with its Table II attributes."""
+    records = []
+    for info in BENCHMARKS:
+        targets = "".join(
+            {"booster": "B", "cluster": "C", "msa": "M",
+             "storage": "S"}[t.value]
+            for t in info.targets)
+        hs = ""
+        if Category.HIGH_SCALING in info.categories:
+            hs = f"{info.highscale_nodes}^{{{variant_labels(info.variants)}}}"
+        params = {
+            "benchmark": info.name + _mark(info),
+            "languages": "/".join(info.languages),
+            "models": "/".join(info.prog_models),
+            "libraries": ", ".join(info.libraries),
+            "license": info.license,
+            "base_nodes": "/".join(str(n) for n in info.base_nodes) or "-",
+            "highscale": hs or "-",
+            "targets": targets,
+        }
+        records.append(WorkunitRecord(params=params, outputs={}))
+    return records
+
+
+def table2() -> ResultTable:
+    """The Table II renderer."""
+    return ResultTable(name="Table II", columns=[
+        Column(key="benchmark", title="Benchmark"),
+        Column(key="languages", title="Language"),
+        Column(key="models", title="Prog. Models"),
+        Column(key="libraries", title="Libraries"),
+        Column(key="license", title="Licence"),
+        Column(key="base_nodes", title="Nodes Base"),
+        Column(key="highscale", title="Nodes High-Scale"),
+        Column(key="targets", title="Targets"),
+    ])
+
+
+def render_table2() -> str:
+    """Table II as ASCII text."""
+    return table2().render(table2_records())

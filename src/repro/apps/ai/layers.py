@@ -1,0 +1,323 @@
+"""Neural-network layers with explicit forward/backward (NumPy).
+
+The substrate of the three AI benchmarks (Megatron-LM, MMoCLIP,
+ResNet).  Every layer implements ``forward`` (caching what backward
+needs) and ``backward`` (returning the input gradient and accumulating
+parameter gradients); all backwards are validated against numerical
+differentiation in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+
+class Layer:
+    """Base layer: parameter iteration + train/eval plumbing."""
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters (subclasses extend)."""
+        out: list[Parameter] = []
+        for attr in vars(self).values():
+            if isinstance(attr, Parameter):
+                out.append(attr)
+            elif isinstance(attr, Layer):
+                out.extend(attr.parameters())
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Layer):
+                        out.extend(item.parameters())
+        return out
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def n_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.value.size for p in self.parameters())
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Linear(Layer):
+    """y = x @ W + b for inputs of shape (..., in_dim)."""
+
+    def __init__(self, in_dim: int, out_dim: int,
+                 rng: np.random.Generator, bias: bool = True):
+        scale = 1.0 / math.sqrt(in_dim)
+        self.w = Parameter(rng.normal(scale=scale, size=(in_dim, out_dim)))
+        self.b = Parameter(np.zeros(out_dim)) if bias else None
+        self._x: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.w] + ([self.b] if self.b is not None else [])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        y = x @ self.w.value
+        if self.b is not None:
+            y = y + self.b.value
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        x = self._x
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_dy = dy.reshape(-1, dy.shape[-1])
+        self.w.grad += flat_x.T @ flat_dy
+        if self.b is not None:
+            self.b.grad += flat_dy.sum(axis=0)
+        return dy @ self.w.value.T
+
+
+class Gelu(Layer):
+    """GELU activation (tanh approximation, as in GPT-style MLPs)."""
+
+    _C = math.sqrt(2.0 / math.pi)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        inner = self._C * (x + 0.044715 * x ** 3)
+        self._tanh = np.tanh(inner)
+        return 0.5 * x * (1.0 + self._tanh)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        x, t = self._x, self._tanh
+        dinner = self._C * (1.0 + 3 * 0.044715 * x ** 2)
+        return dy * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t ** 2) * dinner)
+
+
+class Relu(Layer):
+    """Rectified linear unit."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        return dy * self._mask
+
+
+class LayerNorm(Layer):
+    """Layer normalisation over the trailing dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+        self.eps = eps
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        self._inv = 1.0 / np.sqrt(var + self.eps)
+        self._xhat = (x - mu) * self._inv
+        return self.gamma.value * self._xhat + self.beta.value
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        xhat, inv = self._xhat, self._inv
+        d = xhat.shape[-1]
+        self.gamma.grad += (dy * xhat).reshape(-1, d).sum(axis=0)
+        self.beta.grad += dy.reshape(-1, d).sum(axis=0)
+        dxhat = dy * self.gamma.value
+        return inv * (dxhat - dxhat.mean(axis=-1, keepdims=True) -
+                      xhat * (dxhat * xhat).mean(axis=-1, keepdims=True))
+
+
+class Embedding(Layer):
+    """Token embedding lookup: int ids (..., ) -> vectors (..., dim)."""
+
+    def __init__(self, vocab: int, dim: int, rng: np.random.Generator):
+        self.table = Parameter(rng.normal(scale=0.02, size=(vocab, dim)))
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        self._ids = ids
+        return self.table.value[ids]
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        np.add.at(self.table.grad, self._ids, dy)
+        return np.zeros_like(self._ids, dtype=float)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    z = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+class SelfAttention(Layer):
+    """Multi-head self-attention, optionally causal (GPT-style)."""
+
+    def __init__(self, dim: int, heads: int, rng: np.random.Generator,
+                 causal: bool = False):
+        if dim % heads != 0:
+            raise ValueError("dim must be divisible by heads")
+        self.dim = dim
+        self.heads = heads
+        self.causal = causal
+        self.qkv = Linear(dim, 3 * dim, rng)
+        self.proj = Linear(dim, dim, rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b, t, d = x.shape
+        h = self.heads
+        hd = d // h
+        qkv = self.qkv(x).reshape(b, t, 3, h, hd)
+        q = qkv[:, :, 0].transpose(0, 2, 1, 3)   # (b, h, t, hd)
+        k = qkv[:, :, 1].transpose(0, 2, 1, 3)
+        v = qkv[:, :, 2].transpose(0, 2, 1, 3)
+        scores = q @ k.transpose(0, 1, 3, 2) / math.sqrt(hd)
+        if self.causal:
+            mask = np.triu(np.ones((t, t), dtype=bool), k=1)
+            scores = np.where(mask, -1e30, scores)
+        attn = softmax(scores)
+        out = attn @ v                           # (b, h, t, hd)
+        self._cache = (q, k, v, attn)
+        merged = out.transpose(0, 2, 1, 3).reshape(b, t, d)
+        return self.proj(merged)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        b, t, d = dy.shape
+        h = self.heads
+        hd = d // h
+        q, k, v, attn = self._cache
+        dmerged = self.proj.backward(dy)
+        dout = dmerged.reshape(b, t, h, hd).transpose(0, 2, 1, 3)
+        dattn = dout @ v.transpose(0, 1, 3, 2)
+        dv = attn.transpose(0, 1, 3, 2) @ dout
+        # softmax backward
+        ds = attn * (dattn - np.sum(dattn * attn, axis=-1, keepdims=True))
+        ds = ds / math.sqrt(hd)
+        dq = ds @ k
+        dk = ds.transpose(0, 1, 3, 2) @ q
+        dqkv = np.zeros((b, t, 3, h, hd))
+        dqkv[:, :, 0] = dq.transpose(0, 2, 1, 3)
+        dqkv[:, :, 1] = dk.transpose(0, 2, 1, 3)
+        dqkv[:, :, 2] = dv.transpose(0, 2, 1, 3)
+        return self.qkv.backward(dqkv.reshape(b, t, 3 * d))
+
+
+class Sequential(Layer):
+    """Layers applied in order."""
+
+    def __init__(self, layers: Iterable[Layer]):
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dy = layer.backward(dy)
+        return dy
+
+
+class Conv2d(Layer):
+    """2D convolution via im2col (NCHW, stride 1, 'same' padding)."""
+
+    def __init__(self, in_ch: int, out_ch: int, k: int,
+                 rng: np.random.Generator):
+        if k % 2 != 1:
+            raise ValueError("kernel size must be odd for same padding")
+        scale = 1.0 / math.sqrt(in_ch * k * k)
+        self.w = Parameter(rng.normal(scale=scale,
+                                      size=(out_ch, in_ch, k, k)))
+        self.b = Parameter(np.zeros(out_ch))
+        self.k = k
+
+    def parameters(self) -> list[Parameter]:
+        return [self.w, self.b]
+
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        n, c, hh, ww = x.shape
+        k = self.k
+        pad = k // 2
+        xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        cols = np.empty((n, c, k, k, hh, ww))
+        for i in range(k):
+            for j in range(k):
+                cols[:, :, i, j] = xp[:, :, i:i + hh, j:j + ww]
+        return cols.reshape(n, c * k * k, hh * ww)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, hh, ww = x.shape
+        self._xshape = x.shape
+        self._cols = self._im2col(x)                     # (n, ckk, hw)
+        wmat = self.w.value.reshape(self.w.shape[0], -1)  # (o, ckk)
+        out = np.einsum("ok,nkp->nop", wmat, self._cols)
+        out += self.b.value[None, :, None]
+        return out.reshape(n, -1, hh, ww)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        n, c, hh, ww = self._xshape
+        o = self.w.shape[0]
+        k = self.k
+        dy_mat = dy.reshape(n, o, hh * ww)
+        wmat = self.w.value.reshape(o, -1)
+        self.w.grad += np.einsum("nop,nkp->ok", dy_mat,
+                                 self._cols).reshape(self.w.shape)
+        self.b.grad += dy_mat.sum(axis=(0, 2))
+        dcols = np.einsum("ok,nop->nkp", wmat, dy_mat)
+        dcols = dcols.reshape(n, c, k, k, hh, ww)
+        pad = k // 2
+        dxp = np.zeros((n, c, hh + 2 * pad, ww + 2 * pad))
+        for i in range(k):
+            for j in range(k):
+                dxp[:, :, i:i + hh, j:j + ww] += dcols[:, :, i, j]
+        return dxp[:, :, pad:pad + hh, pad:pad + ww]
+
+
+class GlobalAvgPool(Layer):
+    """NCHW -> NC global average pooling."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._shape
+        return np.broadcast_to(dy[:, :, None, None] / (h * w),
+                               self._shape).copy()
+
+
+def cross_entropy(logits: np.ndarray,
+                  targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its logits gradient.
+
+    ``logits`` (..., classes); ``targets`` int class ids (...,).
+    """
+    probs = softmax(logits)
+    flat_p = probs.reshape(-1, probs.shape[-1])
+    flat_t = targets.reshape(-1)
+    n = flat_t.shape[0]
+    loss = -float(np.mean(np.log(flat_p[np.arange(n), flat_t] + 1e-30)))
+    grad = flat_p.copy()
+    grad[np.arange(n), flat_t] -= 1.0
+    return loss, (grad / n).reshape(logits.shape)

@@ -1,0 +1,235 @@
+"""Small trainable models: GPT block stack, CLIP towers, ResNet.
+
+These are the *real-mode* models of the three AI benchmarks: tiny
+enough to train in a test, structurally identical to the production
+architectures (pre-norm transformer blocks, two-tower contrastive
+setup, residual conv blocks).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .layers import (
+    Conv2d,
+    Embedding,
+    Gelu,
+    GlobalAvgPool,
+    Layer,
+    LayerNorm,
+    Linear,
+    Relu,
+    SelfAttention,
+    Sequential,
+    cross_entropy,
+    softmax,
+)
+
+
+class TransformerBlock(Layer):
+    """Pre-norm transformer block: LN->attention->+, LN->MLP->+."""
+
+    def __init__(self, dim: int, heads: int, rng: np.random.Generator,
+                 causal: bool = False, mlp_ratio: int = 4):
+        self.ln1 = LayerNorm(dim)
+        self.attn = SelfAttention(dim, heads, rng, causal=causal)
+        self.ln2 = LayerNorm(dim)
+        self.mlp = Sequential([Linear(dim, mlp_ratio * dim, rng), Gelu(),
+                               Linear(mlp_ratio * dim, dim, rng)])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = x + self.attn(self.ln1(x))
+        return x + self.mlp(self.ln2(x))
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        d_mlp = self.ln2.backward(self.mlp.backward(dy))
+        dy = dy + d_mlp
+        d_attn = self.ln1.backward(self.attn.backward(dy))
+        return dy + d_attn
+
+
+class TinyGpt(Layer):
+    """A GPT: token + position embeddings, causal blocks, LM head."""
+
+    def __init__(self, vocab: int, dim: int, heads: int, layers: int,
+                 seq: int, rng: np.random.Generator):
+        self.embed = Embedding(vocab, dim, rng)
+        self.pos = Embedding(seq, dim, rng)
+        self.blocks = [TransformerBlock(dim, heads, rng, causal=True)
+                       for _ in range(layers)]
+        self.ln_f = LayerNorm(dim)
+        self.head = Linear(dim, vocab, rng, bias=False)
+        self.seq = seq
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        b, t = ids.shape
+        pos_ids = np.broadcast_to(np.arange(t), (b, t))
+        x = self.embed(ids) + self.pos(pos_ids)
+        for blk in self.blocks:
+            x = blk(x)
+        return self.head(self.ln_f(x))
+
+    def backward(self, dlogits: np.ndarray) -> np.ndarray:
+        dx = self.ln_f.backward(self.head.backward(dlogits))
+        for blk in reversed(self.blocks):
+            dx = blk.backward(dx)
+        self.embed.backward(dx)
+        self.pos.backward(dx)
+        return dx
+
+    def train_step(self, ids: np.ndarray, targets: np.ndarray,
+                   optimizer) -> float:
+        """One LM training step; returns the loss."""
+        self.zero_grad()
+        logits = self.forward(ids)
+        loss, dlogits = cross_entropy(logits, targets)
+        self.backward(dlogits)
+        optimizer.step()
+        return loss
+
+
+class ClipTower(Layer):
+    """One CLIP tower: input projection, transformer blocks, pooled and
+    L2-normalised embedding."""
+
+    def __init__(self, in_dim: int, dim: int, heads: int, layers: int,
+                 embed_dim: int, rng: np.random.Generator):
+        self.proj_in = Linear(in_dim, dim, rng)
+        self.blocks = [TransformerBlock(dim, heads, rng)
+                       for _ in range(layers)]
+        self.ln = LayerNorm(dim)
+        self.proj_out = Linear(dim, embed_dim, rng, bias=False)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.proj_in(x)
+        for blk in self.blocks:
+            h = blk(h)
+        h = self.ln(h)
+        self._tokens = h.shape[1]
+        pooled = h.mean(axis=1)
+        z = self.proj_out(pooled)
+        self._z_raw = z
+        norm = np.linalg.norm(z, axis=-1, keepdims=True) + 1e-12
+        self._norm = norm
+        return z / norm
+
+    def backward(self, dz_hat: np.ndarray) -> np.ndarray:
+        z, norm = self._z_raw, self._norm
+        zhat = z / norm
+        dz = (dz_hat - zhat * np.sum(dz_hat * zhat, axis=-1,
+                                     keepdims=True)) / norm
+        dpooled = self.proj_out.backward(dz)
+        dh = np.broadcast_to(dpooled[:, None, :] / self._tokens,
+                             (dpooled.shape[0], self._tokens,
+                              dpooled.shape[1])).copy()
+        dh = self.ln.backward(dh)
+        for blk in reversed(self.blocks):
+            dh = blk.backward(dh)
+        return self.proj_in.backward(dh)
+
+
+def clip_contrastive_loss(z_img: np.ndarray, z_txt: np.ndarray,
+                          temperature: float = 0.07
+                          ) -> tuple[float, np.ndarray, np.ndarray]:
+    """Symmetric InfoNCE loss over the in-batch similarity matrix.
+
+    Returns (loss, d z_img, d z_txt).  Random embeddings give
+    loss ~ ln(batch); training must push it below that baseline.
+    """
+    n = z_img.shape[0]
+    logits = z_img @ z_txt.T / temperature
+    targets = np.arange(n)
+    loss_i, dlog_i = cross_entropy(logits, targets)
+    loss_t, dlog_t = cross_entropy(logits.T, targets)
+    loss = 0.5 * (loss_i + loss_t)
+    dlogits = 0.5 * (dlog_i + dlog_t.T) / temperature
+    return loss, dlogits @ z_txt, dlogits.T @ z_img
+
+
+class ResidualConvBlock(Layer):
+    """Conv-ReLU-Conv with identity skip (the ResNet cell)."""
+
+    def __init__(self, channels: int, rng: np.random.Generator):
+        self.conv1 = Conv2d(channels, channels, 3, rng)
+        self.relu1 = Relu()
+        self.conv2 = Conv2d(channels, channels, 3, rng)
+        self.relu2 = Relu()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.conv2(self.relu1(self.conv1(x)))
+        return self.relu2(x + h)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        dy = self.relu2.backward(dy)
+        dh = self.conv1.backward(self.relu1.backward(self.conv2.backward(dy)))
+        return dy + dh
+
+
+class TinyResNet(Layer):
+    """Stem conv, residual blocks, global pool, classifier."""
+
+    def __init__(self, in_ch: int, channels: int, blocks: int,
+                 classes: int, rng: np.random.Generator):
+        self.stem = Conv2d(in_ch, channels, 3, rng)
+        self.relu = Relu()
+        self.blocks = [ResidualConvBlock(channels, rng)
+                       for _ in range(blocks)]
+        self.pool = GlobalAvgPool()
+        self.fc = Linear(channels, classes, rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.relu(self.stem(x))
+        for blk in self.blocks:
+            h = blk(h)
+        return self.fc(self.pool(h))
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        dh = self.pool.backward(self.fc.backward(dy))
+        for blk in reversed(self.blocks):
+            dh = blk.backward(dh)
+        return self.stem.backward(self.relu.backward(dh))
+
+    def train_step(self, images: np.ndarray, labels: np.ndarray,
+                   optimizer) -> float:
+        """One classification training step; returns the loss."""
+        self.zero_grad()
+        logits = self.forward(images)
+        loss, dlogits = cross_entropy(logits, labels)
+        self.backward(dlogits)
+        optimizer.step()
+        return loss
+
+
+def synthetic_tokens(batch: int, seq: int, vocab: int,
+                     rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """A learnable synthetic LM task: next token = (token + 1) % vocab
+    with occasional noise, so the loss floor is well below ln(vocab)."""
+    start = rng.integers(vocab, size=(batch, 1))
+    ramp = (start + np.arange(seq + 1)) % vocab
+    noise = rng.random((batch, seq + 1)) < 0.02
+    ramp = np.where(noise, rng.integers(vocab, size=(batch, seq + 1)), ramp)
+    return ramp[:, :-1], ramp[:, 1:]
+
+
+def synthetic_pairs(batch: int, tokens: int, in_dim: int,
+                    rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Paired 'image'/'text' features sharing a latent (CLIP-learnable)."""
+    latent = rng.normal(size=(batch, in_dim))
+    img = latent[:, None, :] + 0.1 * rng.normal(size=(batch, tokens, in_dim))
+    txt = latent[:, None, :] + 0.1 * rng.normal(size=(batch, tokens, in_dim))
+    return img, txt
+
+
+def synthetic_images(batch: int, channels: int, size: int, classes: int,
+                     rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Class-dependent blob images (ResNet-learnable)."""
+    labels = rng.integers(classes, size=batch)
+    images = 0.3 * rng.normal(size=(batch, channels, size, size))
+    xx, yy = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+    for i, lab in enumerate(labels):
+        cx = (lab + 1) * size / (classes + 1)
+        blob = np.exp(-((xx - cx) ** 2 + (yy - size / 2) ** 2) / 4.0)
+        images[i, lab % channels] += 3.0 * blob
+    return images, labels

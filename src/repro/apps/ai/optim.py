@@ -1,0 +1,65 @@
+"""Optimisers for the AI benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Parameter
+
+
+class Sgd:
+    """SGD with optional momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float = 0.1,
+                 momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.value -= self.lr * v
+            else:
+                p.value -= self.lr * p.grad
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam (the optimiser all three AI benchmarks train with)."""
+
+    def __init__(self, params: list[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = params
+        self.lr = lr
+        self.b1, self.b2 = betas
+        self.eps = eps
+        self.t = 0
+        self._m = [np.zeros_like(p.value) for p in params]
+        self._v = [np.zeros_like(p.value) for p in params]
+
+    def step(self) -> None:
+        self.t += 1
+        b1t = 1.0 - self.b1 ** self.t
+        b2t = 1.0 - self.b2 ** self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= self.b1
+            m += (1 - self.b1) * p.grad
+            v *= self.b2
+            v += (1 - self.b2) * p.grad ** 2
+            p.value -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

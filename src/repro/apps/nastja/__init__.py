@@ -1,0 +1,7 @@
+"""NAStJA: cellular Potts model for biological tissue (CPU-only)."""
+
+from .benchmark import DOMAIN, MC_STEPS, NastjaBenchmark, nastja_timing_program
+from .potts import MEDIUM, PottsModel, checkerboard_tissue
+
+__all__ = ["DOMAIN", "MC_STEPS", "MEDIUM", "NastjaBenchmark",
+           "PottsModel", "checkerboard_tissue", "nastja_timing_program"]

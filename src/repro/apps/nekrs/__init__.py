@@ -1,0 +1,28 @@
+"""nekRS: GPU spectral-element Navier-Stokes (Rayleigh-Bénard case)."""
+
+from .benchmark import (
+    BASE_ELEMENTS,
+    HS_ELEMENTS,
+    NekrsBenchmark,
+    STRONG_SCALING_LIMIT,
+    conduction_nusselt,
+    nekrs_timing_program,
+)
+from .mesh import StripMesh, solve_poisson
+from .sem import (
+    derivative_matrix,
+    flops_per_element,
+    gll_nodes_weights,
+    gradient_3d,
+    mass_apply,
+    stiffness_apply,
+    tensor_apply_3d,
+)
+
+__all__ = [
+    "BASE_ELEMENTS", "HS_ELEMENTS", "NekrsBenchmark",
+    "STRONG_SCALING_LIMIT", "StripMesh", "conduction_nusselt",
+    "derivative_matrix", "flops_per_element", "gll_nodes_weights",
+    "gradient_3d", "mass_apply", "nekrs_timing_program", "solve_poisson",
+    "stiffness_apply", "tensor_apply_3d",
+]

@@ -1,0 +1,11 @@
+"""ParFlow: integrated hydrology (Richards equation, multigrid CG)."""
+
+from .benchmark import DOMAIN, ParflowBenchmark, parflow_timing_program
+from .multigrid import apply_poisson, jacobi_smooth, mg_solve, mgcg_solve, \
+    prolong, rb_gauss_seidel, restrict, v_cycle
+from .richards import RichardsColumn, VanGenuchten
+
+__all__ = ["DOMAIN", "ParflowBenchmark", "RichardsColumn", "VanGenuchten",
+           "apply_poisson", "jacobi_smooth", "mg_solve", "mgcg_solve",
+           "parflow_timing_program", "prolong", "rb_gauss_seidel",
+           "restrict", "v_cycle"]

@@ -1,0 +1,156 @@
+"""Geometric multigrid for the Poisson-like systems in ParFlow.
+
+ParFlow's solver stack is Newton-Krylov with a multigrid-preconditioned
+linear solve (the Hypre dependency in Table II; Ashby & Falgout 1996).
+This module implements a standard V-cycle on a 3D cell-centred grid
+(damped-Jacobi smoothing, full-weighting-ish restriction, trilinear
+prolongation) whose grid-independent convergence factor the tests
+assert -- the property that makes the hydrology tractable at scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def apply_poisson(u: np.ndarray, h: float) -> np.ndarray:
+    """7-point Laplacian with homogeneous Dirichlet walls: A u = -lap u."""
+    out = 6.0 * u.copy()
+    for axis in range(3):
+        lo = np.zeros_like(u)
+        hi = np.zeros_like(u)
+        src = [slice(None)] * 3
+        dst = [slice(None)] * 3
+        src[axis] = slice(1, None)
+        dst[axis] = slice(None, -1)
+        hi[tuple(dst)] = u[tuple(src)]
+        src[axis] = slice(None, -1)
+        dst[axis] = slice(1, None)
+        lo[tuple(dst)] = u[tuple(src)]
+        out -= lo + hi
+    return out / (h * h)
+
+
+def jacobi_smooth(u: np.ndarray, f: np.ndarray, h: float,
+                  sweeps: int = 2, omega: float = 0.8) -> np.ndarray:
+    """Damped Jacobi relaxation sweeps."""
+    diag = 6.0 / (h * h)
+    for _ in range(sweeps):
+        r = f - apply_poisson(u, h)
+        u = u + omega * r / diag
+    return u
+
+
+def _checkerboard(shape: tuple[int, ...]) -> np.ndarray:
+    idx = np.indices(shape).sum(axis=0)
+    return idx % 2 == 0
+
+
+def rb_gauss_seidel(u: np.ndarray, f: np.ndarray, h: float,
+                    sweeps: int = 2) -> np.ndarray:
+    """Red-black Gauss-Seidel sweeps (the stronger smoother; also the
+    parallel-friendly one the production codes use)."""
+    diag = 6.0 / (h * h)
+    red = _checkerboard(u.shape)
+    u = u.copy()
+    for _ in range(sweeps):
+        for color in (red, ~red):
+            r = f - apply_poisson(u, h)
+            u[color] += r[color] / diag
+    return u
+
+
+def restrict(r: np.ndarray) -> np.ndarray:
+    """Cell-averaged restriction to a grid of half the points per axis."""
+    n = r.shape[0]
+    if n % 2 != 0:
+        raise ValueError("restriction needs even extents")
+    return 0.125 * (r[0::2, 0::2, 0::2] + r[1::2, 0::2, 0::2] +
+                    r[0::2, 1::2, 0::2] + r[0::2, 0::2, 1::2] +
+                    r[1::2, 1::2, 0::2] + r[1::2, 0::2, 1::2] +
+                    r[0::2, 1::2, 1::2] + r[1::2, 1::2, 1::2])
+
+
+def prolong(c: np.ndarray) -> np.ndarray:
+    """Piecewise-constant prolongation (adjoint of the restriction)."""
+    return np.repeat(np.repeat(np.repeat(c, 2, axis=0), 2, axis=1),
+                     2, axis=2)
+
+
+def v_cycle(u: np.ndarray, f: np.ndarray, h: float,
+            pre: int = 2, post: int = 2, min_size: int = 4) -> np.ndarray:
+    """One V(pre, post) cycle."""
+    u = rb_gauss_seidel(u, f, h, sweeps=pre)
+    if u.shape[0] > min_size and u.shape[0] % 2 == 0:
+        r = f - apply_poisson(u, h)
+        # For cell-centred averaging restriction with piecewise-constant
+        # prolongation, the Galerkin coarse operator equals TWICE the
+        # rediscretised Laplacian at 2h (per-direction child counting);
+        # halving the restricted residual makes the rediscretised coarse
+        # solve consistent.
+        rc = 0.5 * restrict(r)
+        ec = v_cycle(np.zeros_like(rc), rc, 2.0 * h, pre, post, min_size)
+        u = u + prolong(ec)
+    else:
+        u = rb_gauss_seidel(u, f, h, sweeps=20)
+    return rb_gauss_seidel(u, f, h, sweeps=post)
+
+
+def mgcg_solve(f: np.ndarray, h: float, tol: float = 1e-8,
+               max_iter: int = 60) -> tuple[np.ndarray, int, list[float]]:
+    """Multigrid-preconditioned conjugate gradient.
+
+    This is ParFlow's actual solver (Ashby & Falgout: "a parallel
+    multigrid preconditioned conjugate gradient algorithm for
+    groundwater flow simulations").  One V-cycle per application as the
+    preconditioner; flexible (Polak-Ribiere) CG absorbs its slight
+    non-symmetry.  Returns (solution, iterations, residual history).
+    """
+    u = np.zeros_like(f)
+    f_norm = float(np.linalg.norm(f))
+    if f_norm == 0.0:
+        return u, 0, [0.0]
+    r = f.copy()
+    z = v_cycle(np.zeros_like(r), r, h)
+    p = z.copy()
+    rz = float(np.sum(r * z))
+    history = [1.0]
+    it = 0
+    for it in range(1, max_iter + 1):
+        ap = apply_poisson(p, h)
+        alpha = rz / float(np.sum(p * ap))
+        u += alpha * p
+        r_new = r - alpha * ap
+        res = float(np.linalg.norm(r_new)) / f_norm
+        history.append(res)
+        if res < tol:
+            break
+        z_new = v_cycle(np.zeros_like(r_new), r_new, h)
+        rz_new = float(np.sum((r_new - r) * z_new))  # Polak-Ribiere
+        beta = max(rz_new / rz, 0.0)
+        p = z_new + beta * p
+        r = r_new
+        rz = float(np.sum(r * z_new))
+    return u, it, history
+
+
+def mg_solve(f: np.ndarray, h: float, tol: float = 1e-8,
+             max_cycles: int = 50) -> tuple[np.ndarray, int, list[float]]:
+    """V-cycle iteration to relative residual ``tol``.
+
+    Returns (solution, cycles, residual history); the history's
+    per-cycle contraction factor is the multigrid quality metric.
+    """
+    u = np.zeros_like(f)
+    f_norm = float(np.linalg.norm(f))
+    if f_norm == 0.0:
+        return u, 0, [0.0]
+    history = [1.0]
+    cycles = 0
+    for cycles in range(1, max_cycles + 1):
+        u = v_cycle(u, f, h)
+        res = float(np.linalg.norm(f - apply_poisson(u, h))) / f_norm
+        history.append(res)
+        if res < tol:
+            break
+    return u, cycles, history

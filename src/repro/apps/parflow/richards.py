@@ -1,0 +1,146 @@
+"""The Richards equation: variably saturated subsurface flow.
+
+ParFlow's physics (Sec. IV): infiltration into soil follows
+
+    d theta(psi) / dt = d/dz [ K(psi) (d psi/dz + 1) ]
+
+with pressure head psi, water content theta and hydraulic conductivity
+K given by the van Genuchten relations.  The ClayL test case infiltrates
+water into clay (very low conductivity, sharp wetting front).  We solve
+the 1D column (the test's dynamics are vertical) with implicit Euler
+and Newton iteration, verifying exact discrete mass balance and a
+monotone wetting front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VanGenuchten:
+    """van Genuchten soil parameters (clay defaults, SI-ish units)."""
+
+    theta_r: float = 0.068    # residual water content
+    theta_s: float = 0.38     # saturated water content
+    alpha: float = 0.8        # [1/m]
+    n: float = 1.09           # clay: weakly nonlinear retention
+    k_s: float = 0.048        # saturated conductivity [m/day]
+
+    @property
+    def m(self) -> float:
+        return 1.0 - 1.0 / self.n
+
+    def theta(self, psi: np.ndarray) -> np.ndarray:
+        """Water content from pressure head (psi < 0 unsaturated)."""
+        psi = np.asarray(psi, dtype=float)
+        se = np.where(psi < 0,
+                      (1.0 + np.abs(self.alpha * psi) ** self.n) ** (-self.m),
+                      1.0)
+        return self.theta_r + (self.theta_s - self.theta_r) * se
+
+    def saturation(self, psi: np.ndarray) -> np.ndarray:
+        """Effective saturation in [0, 1]."""
+        return (self.theta(psi) - self.theta_r) / (self.theta_s - self.theta_r)
+
+    def conductivity(self, psi: np.ndarray) -> np.ndarray:
+        """Mualem-van Genuchten unsaturated conductivity."""
+        se = np.clip(self.saturation(psi), 1e-9, 1.0)
+        return self.k_s * np.sqrt(se) * \
+            (1.0 - (1.0 - se ** (1.0 / self.m)) ** self.m) ** 2
+
+
+@dataclass
+class RichardsColumn:
+    """A 1D soil column, cell-centred, surface at index 0."""
+
+    soil: VanGenuchten
+    nz: int
+    dz: float
+    psi: np.ndarray  # pressure head per cell [m]
+
+    @classmethod
+    def clay_column(cls, nz: int = 60, dz: float = 0.05,
+                    psi0: float = -10.0) -> "RichardsColumn":
+        """ClayL-style initial condition: uniformly dry clay."""
+        soil = VanGenuchten()
+        return cls(soil=soil, nz=nz, dz=dz,
+                   psi=np.full(nz, float(psi0)))
+
+    def water_volume(self) -> float:
+        """Stored water per unit area [m]."""
+        return float(np.sum(self.soil.theta(self.psi))) * self.dz
+
+    def _fluxes(self, psi: np.ndarray, psi_top: float) -> np.ndarray:
+        """Darcy fluxes at the nz+1 cell interfaces (positive downward)."""
+        k = self.soil.conductivity(psi)
+        k_top = self.soil.conductivity(np.array([psi_top]))[0]
+        flux = np.zeros(self.nz + 1)
+        # surface: ponded/wet boundary drives infiltration
+        k_face = 0.5 * (k_top + k[0])
+        flux[0] = k_face * ((psi_top - psi[0]) / (self.dz / 2) + 1.0)
+        # interior faces
+        k_faces = 0.5 * (k[:-1] + k[1:])
+        flux[1:-1] = k_faces * ((psi[:-1] - psi[1:]) / self.dz + 1.0)
+        # bottom: free drainage (unit gradient)
+        flux[-1] = k[-1]
+        return flux
+
+    def residual(self, psi_new: np.ndarray, dt: float,
+                 psi_top: float) -> np.ndarray:
+        """Implicit-Euler residual of the water balance per cell."""
+        theta_old = self.soil.theta(self.psi)
+        theta_new = self.soil.theta(psi_new)
+        flux = self._fluxes(psi_new, psi_top)
+        return ((theta_new - theta_old) * self.dz / dt -
+                (flux[:-1] - flux[1:]))
+
+    def step(self, dt: float, psi_top: float = -0.01,
+             newton_tol: float = 1e-10, max_newton: int = 40) -> int:
+        """One implicit step via Newton with numerical Jacobian
+        (tridiagonal; dense solve is fine at column size).
+
+        Returns the Newton iteration count.  The infiltrated volume is
+        exactly the boundary-flux integral (asserted by the mass-balance
+        test).
+        """
+        psi_new = self.psi.copy()
+        it = 0
+        for it in range(1, max_newton + 1):
+            r = self.residual(psi_new, dt, psi_top)
+            if float(np.max(np.abs(r))) < newton_tol:
+                break
+            jac = np.zeros((self.nz, self.nz))
+            eps = 1e-7
+            for j in range(self.nz):
+                pert = psi_new.copy()
+                pert[j] += eps
+                jac[:, j] = (self.residual(pert, dt, psi_top) - r) / eps
+            delta = np.linalg.solve(jac, -r)
+            # damped update for robustness on the sharp clay front
+            step_scale = min(1.0, 1.0 / float(np.max(np.abs(delta)) + 1e-12))
+            psi_new += max(step_scale, 0.2) * delta
+        self.psi = psi_new
+        return it
+
+    def infiltrate(self, t_end: float, dt: float,
+                   psi_top: float = -0.01) -> dict[str, float]:
+        """Run infiltration; returns mass-balance diagnostics."""
+        v0 = self.water_volume()
+        inflow = 0.0
+        outflow = 0.0
+        steps = int(round(t_end / dt))
+        for _ in range(steps):
+            self.step(dt, psi_top)
+            flux = self._fluxes(self.psi, psi_top)
+            inflow += flux[0] * dt
+            outflow += flux[-1] * dt
+        v1 = self.water_volume()
+        return {
+            "initial": v0, "final": v1, "inflow": inflow,
+            "outflow": outflow,
+            "balance_error": abs((v1 - v0) - (inflow - outflow)) /
+            max(abs(inflow), 1e-12),
+        }

@@ -1,0 +1,14 @@
+"""SOMA: Single Chain in Mean Field polymer Monte Carlo."""
+
+from .benchmark import (
+    BEADS_PER_CHAIN,
+    CHAINS,
+    FIELD_GRID,
+    MC_SWEEPS,
+    SomaBenchmark,
+    soma_timing_program,
+)
+from .scmf import ScmfSystem
+
+__all__ = ["BEADS_PER_CHAIN", "CHAINS", "FIELD_GRID", "MC_SWEEPS",
+           "ScmfSystem", "SomaBenchmark", "soma_timing_program"]

@@ -1,0 +1,183 @@
+"""Command-line interface: ``jubench`` / ``python -m repro``.
+
+Sub-commands::
+
+    jubench list                       # suite overview (Table II style)
+    jubench table1 | table2            # reproduce the paper's tables
+    jubench run NAME [--nodes N] [--variant V] [--real] [--scale S]
+    jubench fig2 [--apps A,B,...]      # Base strong-scaling study
+    jubench fig3 [--nodes 8,16,...]    # High-Scaling weak-scaling study
+    jubench procurement                # demo TCO evaluation of proposals
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import (
+    MemoryVariant,
+    ReferenceResult,
+    SystemProposal,
+    TcoModel,
+    WorkloadMix,
+    get_info,
+    load_suite,
+)
+from .units import fmt_seconds
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    suite = load_suite()
+    print(f"JUPITER Benchmark Suite -- {len(suite.names())} benchmarks")
+    for name in suite.names():
+        info = get_info(name)
+        cats = "/".join(c.value for c in info.categories)
+        star = "" if info.used_in_procurement else "  (prepared, not used)"
+        print(f"  {name:<18} {info.domain:<22} [{cats}]{star}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from .analysis import render_table1, render_table2
+
+    print(render_table1() if args.which == "table1" else render_table2())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    suite = load_suite()
+    variant = MemoryVariant.from_label(args.variant) if args.variant else None
+    result = suite.run(args.benchmark, args.nodes, variant=variant,
+                       real=args.real, scale=args.scale)
+    print(f"benchmark : {result.benchmark}")
+    print(f"nodes     : {result.nodes}")
+    if result.variant is not None:
+        print(f"variant   : {result.variant.value}")
+    print(f"FOM       : {fmt_seconds(result.fom_seconds)} "
+          f"({result.fom_seconds:.3f} s time metric)")
+    if result.verified is not None:
+        status = "PASSED" if result.verified else "FAILED"
+        print(f"verified  : {status} -- {result.verification}")
+    for key, value in sorted(result.details.items()):
+        if isinstance(value, float):
+            print(f"  {key}: {value:.6g}")
+        elif isinstance(value, (int, str, bool, tuple)):
+            print(f"  {key}: {value}")
+    return 0 if result.verified in (True, None) else 1
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from .analysis import FIG2_APPS, figure2
+
+    suite = load_suite()
+    apps = FIG2_APPS
+    if args.apps:
+        wanted = {a.strip() for a in args.apps.split(",")}
+        apps = tuple(a for a in FIG2_APPS if a[0] in wanted)
+    print(figure2(suite, apps).render())
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from .analysis import figure3
+
+    suite = load_suite()
+    nodes = tuple(int(n) for n in args.nodes.split(","))
+    print(figure3(suite, nodes).render())
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from .core import describe
+
+    suite = load_suite()
+    result = None
+    if args.sample:
+        result = suite.run(args.benchmark)
+    print(describe(suite, args.benchmark, sample=result))
+    return 0
+
+
+def _cmd_procurement(_args: argparse.Namespace) -> int:
+    from .cluster.hardware import jupiter_booster_model
+
+    suite = load_suite()
+    mix = WorkloadMix().add("GROMACS", 3).add("Arbor", 2).add("JUQCS", 1)
+    refs: dict[str, ReferenceResult] = {}
+    print("measuring reference executions on the simulated JUWELS Booster:")
+    for entry in mix.entries:
+        ref = suite.reference_run(entry.benchmark)
+        refs[entry.benchmark] = ref
+        print(f"  {entry.benchmark:<12} {ref.nodes:>4} nodes  "
+              f"{fmt_seconds(ref.time_metric)}")
+    model = TcoModel(mix=mix, references=refs)
+    proposals = []
+    for name, speedup in (("vendor-evolution", 2.0), ("vendor-bold", 3.2)):
+        prop = SystemProposal(name=name, system=jupiter_booster_model())
+        for bench, ref in refs.items():
+            prop.commit(bench, nodes=max(1, ref.nodes // 2),
+                        time_metric=ref.time_metric / speedup)
+        proposals.append(prop)
+    print("\nvalue-for-money ranking:")
+    for assessment in model.rank(proposals):
+        print(f"  {assessment.proposal:<18} "
+              f"{assessment.workloads_over_lifetime:.3g} workloads / "
+              f"{assessment.tco_eur / 1e6:.0f} MEUR  ->  "
+              f"{assessment.value_for_money:.1f} per MEUR")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The jubench argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="jubench",
+        description="JUPITER Benchmark Suite reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all benchmarks").set_defaults(
+        fn=_cmd_list)
+    for which in ("table1", "table2"):
+        p = sub.add_parser(which, help=f"render the paper's {which}")
+        p.set_defaults(fn=_cmd_table, which=which)
+
+    p = sub.add_parser("run", help="run one benchmark")
+    p.add_argument("benchmark")
+    p.add_argument("--nodes", type=int, default=None)
+    p.add_argument("--variant", choices=["T", "S", "M", "L"], default=None)
+    p.add_argument("--real", action="store_true",
+                   help="real (verifying) mode instead of timing mode")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("fig2", help="Base strong-scaling study (Fig. 2)")
+    p.add_argument("--apps", default="",
+                   help="comma-separated subset of Base apps")
+    p.set_defaults(fn=_cmd_fig2)
+
+    p = sub.add_parser("fig3", help="High-Scaling weak scaling (Fig. 3)")
+    p.add_argument("--nodes", default="8,16,32,64,128",
+                   help="comma-separated node counts")
+    p.set_defaults(fn=_cmd_fig3)
+
+    p = sub.add_parser("describe",
+                       help="normalised benchmark description (Sec. III-C)")
+    p.add_argument("benchmark")
+    p.add_argument("--sample", action="store_true",
+                   help="attach a sample execution result")
+    p.set_defaults(fn=_cmd_describe)
+
+    sub.add_parser("procurement",
+                   help="demo TCO evaluation").set_defaults(
+        fn=_cmd_procurement)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Simulated HPC machine substrate (stands in for JUWELS Booster / JUPITER).
+
+Sub-modules:
+
+* :mod:`~repro.cluster.hardware` -- device/node/system specifications,
+* :mod:`~repro.cluster.topology` -- DragonFly+ (and fat-tree) path models,
+* :mod:`~repro.cluster.network` -- alpha-beta-congestion communication costs,
+* :mod:`~repro.cluster.storage` -- flash storage module + in-memory filesystem,
+* :mod:`~repro.cluster.scheduler` -- Slurm-like deterministic batch scheduler,
+* :mod:`~repro.cluster.energy` -- power/energy model for the TCO scheme.
+"""
+
+from .energy import EnergyModel
+from .hardware import (
+    A100,
+    EPYC_ROME_7402,
+    DeviceSpec,
+    NodeSpec,
+    SystemSpec,
+    jupiter_booster_model,
+    juwels_booster,
+    juwels_booster_node,
+    juwels_cluster,
+    preparation_subpartition,
+)
+from .network import NetworkModel, booster_network
+from .scheduler import Job, JobState, Scheduler
+from .storage import (
+    IOR_EASY_TRANSFER,
+    IOR_HARD_TRANSFER,
+    SimFile,
+    SimFilesystem,
+    StorageModel,
+    StorageSpec,
+)
+from .topology import DragonflyPlus, FatTree, LinkClass, Topology
+
+__all__ = [
+    "A100",
+    "EPYC_ROME_7402",
+    "DeviceSpec",
+    "DragonflyPlus",
+    "EnergyModel",
+    "FatTree",
+    "IOR_EASY_TRANSFER",
+    "IOR_HARD_TRANSFER",
+    "Job",
+    "JobState",
+    "LinkClass",
+    "NetworkModel",
+    "NodeSpec",
+    "Scheduler",
+    "SimFile",
+    "SimFilesystem",
+    "StorageModel",
+    "StorageSpec",
+    "SystemSpec",
+    "Topology",
+    "booster_network",
+    "jupiter_booster_model",
+    "juwels_booster",
+    "juwels_booster_node",
+    "juwels_cluster",
+    "preparation_subpartition",
+]

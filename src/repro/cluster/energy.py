@@ -1,0 +1,64 @@
+"""Node power and job energy model feeding the TCO calculation.
+
+The JUPITER procurement is Total-Cost-of-Ownership based (Sec. II-B):
+electricity and cooling over the system lifetime are a substantial part
+of the budget, so the value-for-money metric needs energy per reference
+workload, not just runtime.  We use a simple utilisation-linear power
+model per node -- enough to rank system designs, which is all the TCO
+scheme does with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .hardware import NodeSpec, SystemSpec
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy accounting for jobs on a given system.
+
+    ``pue`` is the data-centre power usage effectiveness (cooling and
+    distribution overhead on top of IT power).
+    """
+
+    system: SystemSpec
+    pue: float = 1.15
+
+    def node_power(self, utilization: float) -> float:
+        """Instantaneous node power [W] at a compute utilisation in [0, 1]."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        node: NodeSpec = self.system.node
+        return node.host_power_idle + \
+            (node.host_power_peak - node.host_power_idle) * utilization
+
+    def job_energy(self, nodes: int, seconds: float,
+                   utilization: float = 0.85) -> float:
+        """Energy [J] (at the meter, incl. PUE) of a job."""
+        if nodes < 0 or seconds < 0:
+            raise ValueError("nodes and seconds must be non-negative")
+        return self.node_power(utilization) * nodes * seconds * self.pue
+
+    def job_energy_kwh(self, nodes: int, seconds: float,
+                       utilization: float = 0.85) -> float:
+        """Energy [kWh] of a job."""
+        return self.job_energy(nodes, seconds, utilization) / 3.6e6
+
+    def lifetime_energy_cost(self, lifetime_years: float,
+                             avg_utilization: float = 0.8,
+                             eur_per_kwh: float = 0.20) -> float:
+        """Projected electricity cost [EUR] over the system lifetime."""
+        seconds = lifetime_years * 365.25 * 24 * 3600
+        joules = self.job_energy(self.system.nodes, seconds, avg_utilization)
+        return joules / 3.6e6 * eur_per_kwh
+
+    def flops_per_joule(self, achieved_flops: float,
+                        utilization: float = 0.85) -> float:
+        """Energy efficiency (FLOP/J) at a given sustained throughput.
+
+        The paper highlights FLOP/J as the Booster module's design driver.
+        """
+        power = self.node_power(utilization) * self.system.nodes * self.pue
+        return achieved_flops / power

@@ -1,0 +1,225 @@
+"""Hardware models of the preparation system and proposal systems.
+
+The JUPITER Benchmark Suite was prepared on JUWELS Booster (Sec. III-A of
+the paper): 936 nodes in 39 BullSequana XH2000 racks, 2 racks = one
+48-node DragonFly+ *cell*; each node has 4 NVIDIA A100 GPUs (40 GB HBM2e)
+with one InfiniBand HDR200 adapter per GPU, and 2x AMD EPYC Rome 7402
+CPUs with 512 GB DDR4.
+
+These dataclasses carry exactly the quantities the timing model needs:
+peak throughput, memory capacity and bandwidth, link bandwidths, and
+node/cell organisation.  ``jupiter_booster_model`` builds a *hypothetical*
+future system scaled to 1 EFLOP/s(th), used by the High-Scaling
+extrapolation experiments (Sec. II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..units import EXA, GIB, GIGA, TERA, PETA
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A single accelerator (or CPU socket treated as a device).
+
+    ``peak_flops`` is the double-precision peak used for partition sizing
+    (the paper sizes sub-partitions in FLOP/s *theoretical peak*);
+    per-application efficiencies are applied by the compute-time model.
+    """
+
+    name: str
+    peak_flops: float           # FP64 peak [FLOP/s]
+    mem_capacity: float         # device memory [B]
+    mem_bandwidth: float        # device memory bandwidth [B/s]
+    kind: str = "gpu"           # "gpu" | "cpu"
+
+    def compute_seconds(self, flops: float, bytes_moved: float = 0.0,
+                        efficiency: float = 1.0) -> float:
+        """Roofline time estimate: max of compute-limited and bandwidth-limited.
+
+        ``efficiency`` scales the attainable fraction of peak (both compute
+        and bandwidth) and encodes per-kernel realism (e.g. sparse LQCD
+        kernels sustain far less than dense GEMM).
+        """
+        if efficiency <= 0.0:
+            raise ValueError("efficiency must be positive")
+        t_flops = flops / (self.peak_flops * efficiency) if flops else 0.0
+        t_bytes = bytes_moved / (self.mem_bandwidth * efficiency) if bytes_moved else 0.0
+        return max(t_flops, t_bytes)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node: several devices plus host CPU, RAM, and NICs."""
+
+    name: str
+    device: DeviceSpec
+    devices_per_node: int
+    host_mem: float                  # host DRAM [B]
+    nic_bandwidth: float             # per-adapter injection bandwidth [B/s]
+    nics_per_node: int
+    intra_node_bandwidth: float      # NVLink-class device<->device [B/s]
+    intra_node_latency: float = 2.0e-6
+    inter_node_latency: float = 5.0e-6
+    host_power_idle: float = 500.0   # [W]
+    host_power_peak: float = 2500.0  # [W], node fully loaded
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate FP64 peak of the node's devices."""
+        return self.device.peak_flops * self.devices_per_node
+
+    @property
+    def device_mem_total(self) -> float:
+        """Aggregate device memory of the node."""
+        return self.device.mem_capacity * self.devices_per_node
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A full system: homogeneous nodes organised into DragonFly+ cells.
+
+    ``cell_uplink_taper`` is the ratio of a cell's aggregate global-link
+    bandwidth to its aggregate injection bandwidth; DragonFly+ systems are
+    commonly tapered (< 1), which is what makes large-scale bisection-heavy
+    patterns (JUQCS' non-local gates) slower than intra-cell traffic.
+    """
+
+    name: str
+    node: NodeSpec
+    nodes: int
+    nodes_per_cell: int = 48
+    cell_uplink_taper: float = 0.7
+    large_scale_congestion: float = 0.55  # extra efficiency factor once a job
+    # spans many cells and adaptive routing starts to collide (empirical; the
+    # paper's Fig. 3 shows JUQCS communication dropping again at >=256 nodes).
+    large_scale_threshold_nodes: int = 256
+
+    @property
+    def cells(self) -> int:
+        """Number of (possibly partially filled) cells."""
+        return -(-self.nodes // self.nodes_per_cell)
+
+    @property
+    def peak_flops(self) -> float:
+        """System FP64 theoretical peak."""
+        return self.node.peak_flops * self.nodes
+
+    def nodes_for_peak(self, target_flops: float) -> int:
+        """Nodes needed to reach ``target_flops`` theoretical peak.
+
+        Used to size the 50 PFLOP/s(th) preparation sub-partition (~640
+        JUWELS Booster nodes) and the 1 EFLOP/s(th) proposal sub-partition.
+        """
+        return -(-int(target_flops) // int(self.node.peak_flops))
+
+    def with_nodes(self, nodes: int) -> "SystemSpec":
+        """A sub-partition of this system with the given node count."""
+        if nodes < 1:
+            raise ValueError("partition needs at least one node")
+        return replace(self, nodes=nodes, name=f"{self.name}[{nodes}]")
+
+
+# ---------------------------------------------------------------------------
+# Reference machines
+# ---------------------------------------------------------------------------
+
+#: NVIDIA A100-40GB (SXM4): 19.5 TFLOP/s FP64 *tensor-core* peak -- the
+#: number the paper's partition sizing uses (936 nodes * 4 GPUs * 19.5 TF
+#: = 73 PFLOP/s(th), and 50 PF fills "about 640 nodes") -- with 40 GB
+#: HBM2e at 1555 GB/s.  Vector FP64 peak is 9.7 TF; kernels that cannot
+#: use tensor cores express that through their efficiency factor.
+A100 = DeviceSpec(
+    name="NVIDIA A100-40GB",
+    peak_flops=19.5 * TERA,
+    mem_capacity=40.0 * GIGA,
+    mem_bandwidth=1555.0 * GIGA,
+    kind="gpu",
+)
+
+#: One AMD EPYC Rome 7402 socket (24 cores) as a CPU "device" for the
+#: CPU-only benchmarks (NAStJA, DynQCD) and the Cluster module.
+EPYC_ROME_7402 = DeviceSpec(
+    name="AMD EPYC Rome 7402",
+    peak_flops=1.23 * TERA,          # 24 cores * 2.8 GHz * 16 FLOP/cycle (AVX2 FMA)
+    mem_capacity=256.0 * GIB,
+    mem_bandwidth=190.0 * GIGA,      # 8 channels DDR4-3200, realistic STREAM-level
+    kind="cpu",
+)
+
+
+def juwels_booster_node() -> NodeSpec:
+    """One JUWELS Booster node: 4x A100, 4x HDR200, 512 GB DDR4."""
+    return NodeSpec(
+        name="JUWELS Booster node",
+        device=A100,
+        devices_per_node=4,
+        host_mem=512.0 * GIB,
+        nic_bandwidth=25.0 * GIGA,     # HDR200 = 200 Gb/s = 25 GB/s per adapter
+        nics_per_node=4,
+        intra_node_bandwidth=250.0 * GIGA,  # NVLink3 effective pairwise
+    )
+
+
+def juwels_booster() -> SystemSpec:
+    """The 936-node JUWELS Booster preparation system (73 PFLOP/s(th))."""
+    return SystemSpec(name="JUWELS Booster", node=juwels_booster_node(), nodes=936)
+
+
+def juwels_cluster() -> SystemSpec:
+    """A CPU module standing in for JUWELS Cluster (for MSA benchmarks)."""
+    node = NodeSpec(
+        name="JUWELS Cluster node",
+        device=EPYC_ROME_7402,
+        devices_per_node=2,
+        host_mem=512.0 * GIB,
+        nic_bandwidth=12.5 * GIGA,     # HDR100
+        nics_per_node=1,
+        intra_node_bandwidth=100.0 * GIGA,
+    )
+    return SystemSpec(name="JUWELS Cluster", node=node, nodes=1024)
+
+
+def preparation_subpartition(target_flops: float = 50.0 * PETA) -> SystemSpec:
+    """The High-Scaling preparation sub-partition of JUWELS Booster.
+
+    The paper fills a 50 PFLOP/s(th) sub-partition, about 640 nodes
+    (some applications with power-of-two constraints use 512).
+    """
+    booster = juwels_booster()
+    return booster.with_nodes(booster.nodes_for_peak(target_flops))
+
+
+def jupiter_booster_model(gpu_speedup: float = 4.0,
+                          mem_per_device: float = 96.0 * GIGA,
+                          mem_bw_scale: float = 2.5,
+                          nic_bw_scale: float = 2.0,
+                          target_flops: float = 1.05 * EXA) -> SystemSpec:
+    """A *hypothetical* JUPITER Booster proposal for extrapolation studies.
+
+    The procurement requires committing High-Scaling runtimes on a
+    1 EFLOP/s(th) sub-partition of the proposed system; only its rough
+    characteristics are known in advance.  Defaults model a plausible
+    next-generation accelerator (faster compute than memory -- the growing
+    imbalance that motivated the paper's T/S/M/L memory variants).
+    """
+    dev = DeviceSpec(
+        name="NextGen GPU (model)",
+        peak_flops=A100.peak_flops * gpu_speedup,
+        mem_capacity=mem_per_device,
+        mem_bandwidth=A100.mem_bandwidth * mem_bw_scale,
+        kind="gpu",
+    )
+    node = NodeSpec(
+        name="JUPITER Booster node (model)",
+        device=dev,
+        devices_per_node=4,
+        host_mem=512.0 * GIB,
+        nic_bandwidth=25.0 * GIGA * nic_bw_scale,
+        nics_per_node=4,
+        intra_node_bandwidth=250.0 * GIGA * nic_bw_scale,
+    )
+    sys = SystemSpec(name="JUPITER Booster (model)", node=node, nodes=1)
+    return replace(sys, nodes=sys.nodes_for_peak(target_flops) * 6 // 5)

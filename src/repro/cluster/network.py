@@ -1,0 +1,168 @@
+"""Communication cost model (alpha-beta with topology awareness).
+
+This is the timing backend of the virtual-MPI engine.  The model follows
+the structure the paper's own application models use (the JUQCS network
+model of Sec. V-A): a latency term, a bandwidth term whose effective
+bandwidth depends on the *link class* of the path (NVLink inside a node,
+InfiniBand HDR200 inside a cell, tapered global links between cells),
+and a *large-scale congestion* factor once a job spans many cells --
+this is what reproduces JUQCS' two communication drops in Fig. 3
+(1 -> 2 nodes: NVLink -> IB; >= 256 nodes: global-link contention).
+
+Collective costs use standard algorithm models (ring allreduce,
+binomial broadcast, pairwise alltoall bounded by bisection).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .hardware import SystemSpec, juwels_booster
+from .topology import DragonflyPlus, LinkClass, Topology
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Cost model for point-to-point and collective operations.
+
+    Parameters
+    ----------
+    system:
+        Machine description (link bandwidths, cell size, taper).
+    topology:
+        Path classifier; defaults to DragonFly+ over ``system``.
+    """
+
+    system: SystemSpec
+    topology: Topology = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:  # dataclass(frozen) workaround
+        if self.topology is None:
+            object.__setattr__(self, "topology", DragonflyPlus(self.system))
+
+    # -- point-to-point ----------------------------------------------------
+
+    def link_bandwidth(self, link: LinkClass, job_nodes: int = 1) -> float:
+        """Effective per-stream bandwidth for a link class within a job.
+
+        ``job_nodes`` is the size of the running job; inter-cell streams in
+        jobs beyond ``large_scale_threshold_nodes`` see an additional
+        congestion factor (adaptive-routing collisions on shared global
+        links -- the empirical large-scale regime of the paper's Fig. 3).
+        """
+        node = self.system.node
+        if link is LinkClass.SELF:
+            return float("inf")
+        if link is LinkClass.INTRA_NODE:
+            return node.intra_node_bandwidth
+        bw = node.nic_bandwidth
+        if link is LinkClass.INTER_CELL:
+            bw *= self.system.cell_uplink_taper
+            if job_nodes >= self.system.large_scale_threshold_nodes:
+                bw *= self.system.large_scale_congestion
+        return bw
+
+    def latency(self, link: LinkClass) -> float:
+        """One-way latency of a link class."""
+        node = self.system.node
+        if link in (LinkClass.SELF,):
+            return 0.0
+        if link is LinkClass.INTRA_NODE:
+            return node.intra_node_latency
+        if link is LinkClass.INTRA_CELL:
+            return node.inter_node_latency
+        return node.inter_node_latency * 2.0
+
+    def p2p_time(self, src_node: int, dst_node: int, nbytes: float,
+                 job_nodes: int = 1) -> float:
+        """Time for one blocking point-to-point transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        link = self.topology.classify(src_node, dst_node)
+        if src_node == dst_node and nbytes == 0:
+            return 0.0
+        return self.latency(link) + nbytes / self.link_bandwidth(link, job_nodes)
+
+    # -- collectives ---------------------------------------------------------
+
+    def _job_links(self, node_set: tuple[int, ...]) -> tuple[LinkClass, int]:
+        """Slowest link class inside a job and the job's node count."""
+        nodes = sorted(set(node_set))
+        nnodes = len(nodes)
+        if nnodes <= 1:
+            return LinkClass.INTRA_NODE, max(nnodes, 1)
+        cells = {self.topology.cell_of(n) for n in nodes}
+        link = LinkClass.INTRA_CELL if len(cells) == 1 else LinkClass.INTER_CELL
+        return link, nnodes
+
+    def allreduce_time(self, node_set: tuple[int, ...], nranks: int,
+                       nbytes: float) -> float:
+        """Ring allreduce: ``2(P-1)/P`` data volume + ``2 log2 P`` latencies."""
+        if nranks <= 1:
+            return 0.0
+        link, nnodes = self._job_links(node_set)
+        bw = self.link_bandwidth(link, nnodes)
+        lat = self.latency(link)
+        p = nranks
+        return 2.0 * math.log2(p) * lat + 2.0 * nbytes * (p - 1) / p / bw
+
+    def bcast_time(self, node_set: tuple[int, ...], nranks: int,
+                   nbytes: float) -> float:
+        """Binomial-tree broadcast (pipelined for large messages)."""
+        if nranks <= 1:
+            return 0.0
+        link, nnodes = self._job_links(node_set)
+        bw = self.link_bandwidth(link, nnodes)
+        lat = self.latency(link)
+        return math.log2(nranks) * lat + nbytes / bw
+
+    def allgather_time(self, node_set: tuple[int, ...], nranks: int,
+                       nbytes_per_rank: float) -> float:
+        """Ring allgather: each rank receives ``(P-1)`` blocks."""
+        if nranks <= 1:
+            return 0.0
+        link, nnodes = self._job_links(node_set)
+        bw = self.link_bandwidth(link, nnodes)
+        lat = self.latency(link)
+        return (nranks - 1) * (lat + nbytes_per_rank / bw)
+
+    def alltoall_time(self, node_set: tuple[int, ...], nranks: int,
+                      nbytes_per_pair: float) -> float:
+        """Pairwise-exchange alltoall, bounded by the job's bisection.
+
+        Total cross-bisection volume is ``(P/2)^2 * 2`` block transfers;
+        the effective time is the max of the per-rank pipeline and the
+        bisection bound.  This matters for QE's distributed-FFT transpose.
+        """
+        if nranks <= 1:
+            return 0.0
+        link, nnodes = self._job_links(node_set)
+        bw = self.link_bandwidth(link, nnodes)
+        lat = self.latency(link)
+        per_rank = (nranks - 1) * (lat + nbytes_per_pair / bw)
+        total_cross = (nranks / 2.0) * (nranks / 2.0) * 2.0 * nbytes_per_pair
+        bisect = self.topology.bisection_bandwidth(nnodes)
+        return max(per_rank, total_cross / bisect if bisect > 0 else 0.0)
+
+    def barrier_time(self, node_set: tuple[int, ...], nranks: int) -> float:
+        """Dissemination barrier: ``log2 P`` latency rounds."""
+        if nranks <= 1:
+            return 0.0
+        link, nnodes = self._job_links(node_set)
+        return math.ceil(math.log2(nranks)) * self.latency(link)
+
+    def reduce_scatter_time(self, node_set: tuple[int, ...], nranks: int,
+                            nbytes: float) -> float:
+        """Ring reduce-scatter: ``(P-1)/P`` of the buffer crosses each link."""
+        if nranks <= 1:
+            return 0.0
+        link, nnodes = self._job_links(node_set)
+        bw = self.link_bandwidth(link, nnodes)
+        lat = self.latency(link)
+        return math.log2(nranks) * lat + nbytes * (nranks - 1) / nranks / bw
+
+
+def booster_network() -> NetworkModel:
+    """Network model of the full JUWELS Booster."""
+    return NetworkModel(system=juwels_booster())

@@ -1,0 +1,201 @@
+"""Slurm-like batch scheduler for the simulated system.
+
+JUBE resolves a benchmark's steps into batch jobs and submits them; the
+paper's replicability story depends on that layer behaving predictably.
+This module provides a deterministic event-driven scheduler over the
+simulated machine: jobs request node counts and walltimes, are placed
+FIFO with conservative backfill, and receive *contiguous, cell-aligned*
+node ranges when possible (DragonFly+ placement quality affects the
+network model, so the allocation actually matters downstream).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from .hardware import SystemSpec
+
+
+class JobState(Enum):
+    """Lifecycle of a batch job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Job:
+    """A batch job: resource request plus an optional payload callable.
+
+    ``run`` receives the allocated node list and must return the job's
+    result (stored on ``result``); raising marks the job FAILED.
+    """
+
+    name: str
+    nodes: int
+    walltime: float
+    run: Callable[[list[int]], object] | None = None
+    submit_time: float = 0.0
+    job_id: int = -1
+    state: JobState = JobState.PENDING
+    start_time: float | None = None
+    end_time: float | None = None
+    allocated: list[int] = field(default_factory=list)
+    result: object = None
+    error: str | None = None
+
+    @property
+    def wait_time(self) -> float | None:
+        """Queue wait, once started."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+
+class Scheduler:
+    """FIFO + conservative-backfill scheduler over a node pool.
+
+    The virtual clock advances only through job submissions/completions,
+    so results are exactly reproducible.  Placement prefers the lowest
+    contiguous node range whose start is aligned to a cell boundary when
+    the request spans one or more full cells.
+    """
+
+    def __init__(self, system: SystemSpec):
+        self.system = system
+        self.now = 0.0
+        self._free = set(range(system.nodes))
+        self._queue: list[Job] = []
+        self._running: list[tuple[float, int, Job]] = []  # (end, id, job)
+        self._ids = itertools.count(1)
+        self.history: list[Job] = []
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        """Submit a job at the current virtual time."""
+        if job.nodes < 1:
+            raise ValueError("job must request at least one node")
+        if job.nodes > self.system.nodes:
+            raise ValueError(
+                f"job {job.name!r} requests {job.nodes} nodes, system has "
+                f"{self.system.nodes}")
+        job.job_id = next(self._ids)
+        job.submit_time = self.now
+        job.state = JobState.PENDING
+        self._queue.append(job)
+        self.history.append(job)
+        self._schedule()
+        return job
+
+    def cancel(self, job: Job) -> None:
+        """Cancel a pending job (running jobs run to completion)."""
+        if job.state is JobState.PENDING:
+            self._queue.remove(job)
+            job.state = JobState.CANCELLED
+
+    def step(self) -> bool:
+        """Advance to the next job completion; False if nothing is running."""
+        if not self._running:
+            return False
+        end, _, job = heapq.heappop(self._running)
+        self.now = max(self.now, end)
+        self._finish(job)
+        self._schedule()
+        return True
+
+    def drain(self) -> None:
+        """Run the simulation until queue and machine are empty."""
+        while self.step():
+            pass
+        if self._queue:
+            # _schedule is greedy, so a non-empty queue with an idle machine
+            # means some request can never be satisfied.
+            stuck = ", ".join(j.name for j in self._queue)
+            raise RuntimeError(f"jobs can never be scheduled: {stuck}")
+
+    @property
+    def free_nodes(self) -> int:
+        """Currently idle node count."""
+        return len(self._free)
+
+    @property
+    def utilization(self) -> float:
+        """Node-seconds used / available over the elapsed virtual time."""
+        if self.now <= 0:
+            return 0.0
+        used = sum((j.end_time - j.start_time) * j.nodes
+                   for j in self.history
+                   if j.end_time is not None and j.start_time is not None)
+        return used / (self.now * self.system.nodes)
+
+    # -- internals ------------------------------------------------------------
+
+    def _allocate(self, count: int) -> list[int] | None:
+        """Lowest contiguous range, cell-aligned for cell-sized requests."""
+        if count > len(self._free):
+            return None
+        free = sorted(self._free)
+        npc = self.system.nodes_per_cell
+        starts = [s for s in free] if count < npc else \
+                 [s for s in free if s % npc == 0]
+        free_set = self._free
+        for start in starts:
+            block = range(start, start + count)
+            if block.stop <= self.system.nodes and all(n in free_set for n in block):
+                return list(block)
+        # Fall back to any (possibly scattered) nodes.
+        return free[:count]
+
+    def _schedule(self) -> None:
+        """FIFO with conservative backfill: later jobs may start early only
+        if they fit in the currently free nodes (they can never delay the
+        queue head, because running jobs are not preempted)."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for job in list(self._queue):
+                alloc = self._allocate(job.nodes)
+                if alloc is None:
+                    continue  # head blocked -> try to backfill behind it
+                self._start(job, alloc)
+                progressed = True
+                break
+
+    def _start(self, job: Job, alloc: list[int]) -> None:
+        self._queue.remove(job)
+        self._free.difference_update(alloc)
+        job.allocated = alloc
+        job.state = JobState.RUNNING
+        job.start_time = self.now
+        duration = job.walltime
+        if job.run is not None:
+            try:
+                job.result = job.run(alloc)
+            except Exception as exc:  # payload decides job success
+                job.error = f"{type(exc).__name__}: {exc}"
+            # Payloads may return an object with a virtual duration.
+            dur = getattr(job.result, "seconds", None)
+            if isinstance(dur, (int, float)) and dur >= 0:
+                duration = min(float(dur), job.walltime)
+        job.end_time = self.now + duration
+        heapq.heappush(self._running, (job.end_time, job.job_id, job))
+
+    def _finish(self, job: Job) -> None:
+        self._free.update(job.allocated)
+        if job.error is not None:
+            job.state = JobState.FAILED
+        elif job.end_time is not None and job.run is not None and \
+                getattr(job.result, "seconds", 0.0) and \
+                float(getattr(job.result, "seconds")) > job.walltime:
+            job.state = JobState.FAILED
+            job.error = "walltime exceeded"
+        else:
+            job.state = JobState.COMPLETED

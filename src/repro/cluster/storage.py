@@ -1,0 +1,152 @@
+"""Model of the high-bandwidth flash storage module.
+
+JUPITER couples its compute modules with a module of NVMe-based flash
+storage; the suite probes it with IOR in IO500-style *easy* (16 MiB
+transfers, file per process) and *hard* (4 KiB transfers, all processes
+in one shared file) variants, and ICON stages multi-terabyte input.
+
+The model captures the effects those benchmarks are designed to expose:
+
+* aggregate backend bandwidth that saturates with client count,
+* per-client (node) injection limits,
+* transfer-size efficiency (small transfers pay per-op overhead),
+* shared-file lock contention when multiple writers hit the same
+  filesystem block (the IOR-hard design, Sec. IV-B).
+
+A tiny in-memory filesystem (`SimFilesystem`) backs functional tests:
+files support parallel writes/reads with block-level lock accounting, so
+the IOR benchmark actually moves bytes and the contention it reports is
+measured, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..units import GIGA, KIB, MIB
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Capability description of the storage module."""
+
+    name: str = "JUPITER flash module (model)"
+    backend_bandwidth_read: float = 2000.0 * GIGA   # aggregate [B/s]
+    backend_bandwidth_write: float = 1400.0 * GIGA
+    per_node_bandwidth: float = 40.0 * GIGA         # client-side injection
+    iop_overhead: float = 25.0e-6                   # per-operation latency [s]
+    fs_block_size: float = 4.0 * KIB                # lock granularity
+    lock_penalty: float = 80.0e-6                   # shared-block lock round trip
+    saturation_clients: int = 64                    # clients to reach backend bw
+
+
+@dataclass
+class StorageModel:
+    """Analytic I/O timing for bulk transfers.
+
+    ``shared_file`` enables block-lock contention: when several processes
+    write the same filesystem block (IOR hard: 4 KiB transfers into one
+    file), each operation serialises on the lock with probability growing
+    with process count.
+    """
+
+    spec: StorageSpec = field(default_factory=StorageSpec)
+
+    def _aggregate_bw(self, nclients: int, write: bool) -> float:
+        back = (self.spec.backend_bandwidth_write if write
+                else self.spec.backend_bandwidth_read)
+        ramp = min(1.0, nclients / self.spec.saturation_clients)
+        return min(back * ramp if ramp < 1.0 else back,
+                   self.spec.per_node_bandwidth * nclients)
+
+    def transfer_time(self, nbytes_total: float, nclients: int,
+                      transfer_size: float, write: bool = True,
+                      shared_file: bool = False) -> float:
+        """Seconds to move ``nbytes_total`` across ``nclients`` clients."""
+        if nbytes_total < 0 or nclients < 1 or transfer_size <= 0:
+            raise ValueError("invalid transfer parameters")
+        if nbytes_total == 0:
+            return 0.0
+        bw = self._aggregate_bw(nclients, write)
+        nops = nbytes_total / transfer_size
+        t_bw = nbytes_total / bw
+        t_ops = nops * self.spec.iop_overhead / nclients
+        t = t_bw + t_ops
+        if shared_file and write:
+            # Writers contending for the same fs block serialise on its
+            # lock.  With transfer == block size every op risks a conflict
+            # with the neighbouring writer; larger transfers span many
+            # blocks and amortise.
+            blocks_per_op = max(1.0, transfer_size / self.spec.fs_block_size)
+            conflict_rate = min(1.0, 1.0 / blocks_per_op) * (1.0 - 1.0 / nclients)
+            t += nops * conflict_rate * self.spec.lock_penalty / max(
+                1.0, nclients ** 0.25)
+        return t
+
+    def bandwidth(self, nbytes_total: float, nclients: int,
+                  transfer_size: float, write: bool = True,
+                  shared_file: bool = False) -> float:
+        """Achieved bandwidth [B/s] for the transfer described."""
+        t = self.transfer_time(nbytes_total, nclients, transfer_size,
+                               write=write, shared_file=shared_file)
+        return nbytes_total / t if t > 0 else float("inf")
+
+
+@dataclass
+class SimFile:
+    """A file in the in-memory filesystem."""
+
+    name: str
+    data: bytearray = field(default_factory=bytearray)
+    #: count of write ops that landed on a block another writer touched
+    lock_conflicts: int = 0
+    _block_owner: dict[int, int] = field(default_factory=dict)
+
+    def write_at(self, offset: int, payload: bytes, writer: int,
+                 block_size: int = int(64 * KIB)) -> None:
+        """Write ``payload`` at ``offset``, recording block-lock conflicts."""
+        end = offset + len(payload)
+        if len(self.data) < end:
+            self.data.extend(b"\0" * (end - len(self.data)))
+        self.data[offset:end] = payload
+        for block in range(offset // block_size, (max(end - 1, offset)) // block_size + 1):
+            prev = self._block_owner.get(block)
+            if prev is not None and prev != writer:
+                self.lock_conflicts += 1
+            self._block_owner[block] = writer
+
+    def read_at(self, offset: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` at ``offset`` (zero-filled past EOF)."""
+        chunk = bytes(self.data[offset:offset + nbytes])
+        return chunk + b"\0" * (nbytes - len(chunk))
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class SimFilesystem:
+    """In-memory parallel filesystem used by the functional IOR runs."""
+
+    files: dict[str, SimFile] = field(default_factory=dict)
+
+    def open(self, name: str) -> SimFile:
+        """Open (creating if needed) a file."""
+        if name not in self.files:
+            self.files[name] = SimFile(name=name)
+        return self.files[name]
+
+    def unlink(self, name: str) -> None:
+        """Remove a file; missing files are ignored (like ``rm -f``)."""
+        self.files.pop(name, None)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes stored across all files."""
+        return sum(f.size for f in self.files.values())
+
+
+#: Default transfer sizes of the two IOR variants (Sec. IV-B).
+IOR_EASY_TRANSFER = 16 * MIB
+IOR_HARD_TRANSFER = 4 * KIB

@@ -1,0 +1,158 @@
+"""Continuous Benchmarking (the paper's Sec.-VI future work).
+
+"Running the suite at regular intervals (e.g., after maintenances), we
+will ensure that the system does not see performance degradation over
+its lifetime or after updates."  This module implements that loop:
+
+* a :class:`Baseline` stores reference FOMs (with dispersion) per
+  benchmark,
+* a :class:`ContinuousBenchmarking` campaign re-runs a benchmark set,
+  compares each result against the baseline with a configurable
+  tolerance band, and flags regressions,
+* results accumulate into a history from which trends (drift) are
+  estimated -- the "detect system anomalies during the production
+  phase" goal from the introduction.
+
+The machine under test is injectable, so the tests degrade a simulated
+system (slower NICs after a bad firmware 'maintenance') and assert the
+campaign catches exactly the communication-bound benchmarks.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .benchmark import BenchmarkResult
+
+
+@dataclass
+class Baseline:
+    """Accepted reference FOMs, e.g. from the acceptance procedure."""
+
+    foms: dict[str, float] = field(default_factory=dict)
+    #: relative run-to-run noise per benchmark (sets the alert band)
+    noise: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_runs(cls, runs: dict[str, list[float]]) -> "Baseline":
+        """Build from repeated acceptance runs: median + dispersion."""
+        base = cls()
+        for name, values in runs.items():
+            if not values or any(v <= 0 for v in values):
+                raise ValueError(f"invalid acceptance runs for {name!r}")
+            base.foms[name] = statistics.median(values)
+            if len(values) > 1:
+                spread = statistics.stdev(values) / base.foms[name]
+            else:
+                spread = 0.0
+            base.noise[name] = max(spread, 0.01)
+        return base
+
+    def record(self, name: str, fom: float, noise: float = 0.02) -> None:
+        """Register one benchmark's accepted FOM."""
+        if fom <= 0 or noise < 0:
+            raise ValueError("invalid baseline entry")
+        self.foms[name] = fom
+        self.noise[name] = max(noise, 1e-6)
+
+
+@dataclass(frozen=True)
+class RegressionAlert:
+    """One detected degradation."""
+
+    benchmark: str
+    baseline: float
+    measured: float
+
+    @property
+    def slowdown(self) -> float:
+        """measured / baseline (> 1 is slower)."""
+        return self.measured / self.baseline
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one continuous-benchmarking interval."""
+
+    interval: int
+    results: dict[str, float] = field(default_factory=dict)
+    alerts: list[RegressionAlert] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.alerts
+
+
+class ContinuousBenchmarking:
+    """Re-run a benchmark set on a schedule and flag regressions.
+
+    ``runner(name)`` must return a :class:`BenchmarkResult` (or any
+    object with ``fom_seconds``); in production this is
+    ``suite.run``, in tests a machine-degrading closure.  A benchmark
+    regresses when it is slower than baseline by more than
+    ``sigma`` times its recorded noise plus ``slack``.
+    """
+
+    def __init__(self, baseline: Baseline,
+                 runner: Callable[[str], BenchmarkResult],
+                 sigma: float = 3.0, slack: float = 0.02):
+        if sigma <= 0 or slack < 0:
+            raise ValueError("invalid alert thresholds")
+        self.baseline = baseline
+        self.runner = runner
+        self.sigma = sigma
+        self.slack = slack
+        self.history: list[CampaignReport] = []
+
+    def run_interval(self, benchmarks: list[str] | None = None
+                     ) -> CampaignReport:
+        """One interval: run, compare, record."""
+        names = benchmarks if benchmarks is not None \
+            else sorted(self.baseline.foms)
+        report = CampaignReport(interval=len(self.history))
+        for name in names:
+            if name not in self.baseline.foms:
+                raise KeyError(f"no baseline for benchmark {name!r}")
+            result = self.runner(name)
+            fom = float(result.fom_seconds)
+            report.results[name] = fom
+            ref = self.baseline.foms[name]
+            threshold = ref * (1.0 + self.sigma * self.baseline.noise[name]
+                               + self.slack)
+            if fom > threshold:
+                report.alerts.append(RegressionAlert(
+                    benchmark=name, baseline=ref, measured=fom))
+        self.history.append(report)
+        return report
+
+    def drift(self, name: str) -> float:
+        """Relative FOM trend of one benchmark across history.
+
+        Least-squares slope per interval, normalised by the baseline;
+        ~0 for a healthy system, positive when performance decays.
+        """
+        ys = [rep.results[name] for rep in self.history
+              if name in rep.results]
+        if len(ys) < 2:
+            return 0.0
+        n = len(ys)
+        xs = range(n)
+        mean_x = (n - 1) / 2.0
+        mean_y = sum(ys) / n
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        var = sum((x - mean_x) ** 2 for x in xs)
+        return (cov / var) / self.baseline.foms[name]
+
+    def summary(self) -> str:
+        """Human-readable campaign summary."""
+        lines = [f"continuous benchmarking: {len(self.history)} intervals"]
+        for name in sorted(self.baseline.foms):
+            alerts = sum(1 for rep in self.history
+                         for a in rep.alerts if a.benchmark == name)
+            lines.append(f"  {name:<18} baseline "
+                         f"{self.baseline.foms[name]:9.2f} s  "
+                         f"drift {self.drift(name) * 100:+6.2f} %/interval  "
+                         f"alerts {alerts}")
+        return "\n".join(lines)

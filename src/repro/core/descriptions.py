@@ -1,0 +1,147 @@
+"""Standardised benchmark descriptions (Sec. III-C).
+
+"Each benchmark is accompanied by an extensive description.  All
+descriptions are normalized, using identical structure with similar
+language.  Example parts are information about the source and the
+compilation, execution parameters and rules, detailed instructions for
+execution and verification, sample results, and concluding commitment
+requests."
+
+:func:`describe` generates that document for any suite benchmark from
+the registry metadata, the FOM declaration and (optionally) a sample
+execution -- every section present for every benchmark, in the same
+order, which is exactly the normalisation the paper describes.
+"""
+
+from __future__ import annotations
+
+from .benchmark import BenchmarkResult, Category
+from .fom import FomKind
+from .registry import get_info
+from .suite import JupiterBenchmarkSuite
+from .variants import variant_labels
+
+#: the fixed section order of every description
+SECTIONS = (
+    "Source",
+    "Compilation",
+    "Execution",
+    "Rules",
+    "Verification",
+    "Sample Results",
+    "Commitment",
+)
+
+
+def describe(suite: JupiterBenchmarkSuite, name: str,
+             sample: BenchmarkResult | None = None) -> str:
+    """The normalised description document of one benchmark."""
+    info = get_info(name)
+    bench = suite.get(name)
+    lines: list[str] = []
+
+    def header(title: str) -> None:
+        lines.append("")
+        lines.append(f"## {title}")
+
+    lines.append(f"# JUPITER Benchmark Suite: {info.name}")
+    lines.append("")
+    lines.append(f"Domain: {info.domain}.  Categories: "
+                 + ", ".join(c.value for c in info.categories)
+                 + ("." if info.used_in_procurement else
+                    ".  Prepared for the procurement, not used."))
+
+    header("Source")
+    lines.append(f"Languages: {', '.join(info.languages)}.  "
+                 f"Programming models: {', '.join(info.prog_models)}.")
+    if info.libraries:
+        lines.append(f"Required libraries: {', '.join(info.libraries)}.")
+    lines.append(f"Licence: {info.license}.")
+
+    header("Compilation")
+    lines.append("Reproduction note: the reference implementation is the "
+                 f"Python module `repro` (class {type(bench).__name__}); "
+                 "no compilation is required.  The production code builds "
+                 "through EasyBuild on the preparation system.")
+
+    header("Execution")
+    if info.base_nodes:
+        lines.append(f"Reference (Base) node count: "
+                     f"{'/'.join(str(n) for n in info.base_nodes)}.")
+    if Category.HIGH_SCALING in info.categories:
+        lines.append(f"High-Scaling: {info.highscale_nodes} preparation "
+                     f"nodes; memory variants "
+                     f"{variant_labels(info.variants)} sized to "
+                     "25/50/75/100 % of the reference GPU memory.")
+    targets = ", ".join(t.value for t in info.targets)
+    lines.append(f"Execution targets: {targets}.")
+    lines.append(f"Run with: `jubench run {info.name!r} "
+                 "[--nodes N] [--variant V]`.")
+
+    header("Rules")
+    lines.append("The number of nodes is a free parameter unless stated; "
+                 "all workload parameters are fixed.")
+    if info.name in ("Chroma-QCD", "JUQCS", "DynQCD"):
+        lines.append("Node counts must be powers of two (the closest "
+                     "smaller compatible count is used otherwise).")
+    if info.name == "PIConGPU":
+        lines.append("At most 640 nodes admit a valid 3D decomposition "
+                     "of the benchmark grids.")
+    if info.name == "Chroma-QCD":
+        lines.append("The FOM excludes the first HMC update (solver "
+                     "tuning); at least two updates must be run.  "
+                     "Iterative solves stop at a fixed iteration count, "
+                     "never on convergence.")
+
+    header("Verification")
+    lines.append("Run `--real` mode; the implementation applies its "
+                 "verification class automatically:")
+    verification_class = {
+        "JUQCS": "exact (bit-for-bit against the serial state vector)",
+        "Chroma-QCD": "tolerance (plaquette vs reference, 1e-10 Base / "
+                      "1e-8 High-Scaling)",
+        "DynQCD": "tolerance (propagator residuals)",
+        "ICON": "model-based (conservation invariants, geostrophic "
+                "balance)",
+        "nekRS": "model-based (spectral Poisson error, conduction "
+                 "Nusselt number)",
+        "GROMACS": "model-based (energy drift band, momentum)",
+        "Amber": "model-based (energy drift band, momentum)",
+        "PIConGPU": "framework-inherent (charge conservation, bounded "
+                    "energy)",
+        "Megatron-LM": "framework-inherent (training loss decrease)",
+        "MMoCLIP": "framework-inherent (contrastive loss below the "
+                   "random baseline)",
+        "ResNet": "framework-inherent (training loss decrease)",
+    }.get(info.name, "benchmark-specific checks (see the test suite)")
+    lines.append(f"Class: {verification_class}.")
+
+    header("Sample Results")
+    if sample is not None:
+        lines.append(f"Nodes: {sample.nodes}.  FOM (time metric): "
+                     f"{sample.fom_seconds:.3f} s.")
+        if sample.variant is not None:
+            lines.append(f"Memory variant: {sample.variant.value}.")
+    else:
+        lines.append("(run the benchmark to attach a sample result)")
+
+    header("Commitment")
+    fom = bench.fom
+    if fom.kind is FomKind.RUNTIME:
+        metric = "the runtime in seconds"
+    elif fom.kind is FomKind.RATE:
+        metric = (f"the time metric obtained by dividing the fixed work "
+                  f"({fom.work:g} units) by the committed rate")
+    else:
+        metric = (f"the time metric obtained from the committed bandwidth "
+                  f"over {fom.work:g} bytes")
+    lines.append(f"Bidders commit {metric} ('{fom.name}'); smaller is "
+                 "better.  The committed value enters the "
+                 "value-for-money calculation with the workload weight "
+                 "assigned to this benchmark.")
+    return "\n".join(lines)
+
+
+def describe_all(suite: JupiterBenchmarkSuite) -> dict[str, str]:
+    """Descriptions of every registered benchmark."""
+    return {name: describe(suite, name) for name in suite.names()}

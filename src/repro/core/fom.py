@@ -1,0 +1,94 @@
+"""Figures of Merit and their normalisation to a time metric.
+
+Sec. II-C: "For each of the Base benchmarks ... a Figure-of-Merit (FOM)
+is identified and normalized to a time-metric.  In most cases, the FOM
+is the runtime of either the full application or a part of it.  In case
+the application focuses on rates, the time-metric is achieved by
+pre-defining the number of iterations and multiplying with the rate."
+
+That normalisation is what makes wildly different benchmarks (an HMC
+trajectory time, tokens/second of an LLM, GB/s of a filesystem)
+commensurable inside one value-for-money formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class FomKind(Enum):
+    """How the raw measurement maps onto seconds."""
+
+    #: FOM *is* a runtime in seconds (lower is better).
+    RUNTIME = "runtime"
+    #: FOM is a rate in work-units/second; normalised by a fixed amount of
+    #: work (e.g. Megatron-LM: train 20 million tokens at the measured
+    #: tokens/s).
+    RATE = "rate"
+    #: FOM is a bandwidth in bytes/second; normalised by a fixed volume
+    #: (IOR, STREAM).
+    BANDWIDTH = "bandwidth"
+
+
+@dataclass(frozen=True)
+class FigureOfMerit:
+    """Declaration of a benchmark's FOM and its time normalisation.
+
+    ``work`` is the pre-defined amount of work for RATE/BANDWIDTH kinds
+    (tokens, iterations, bytes, ...); unused for RUNTIME.
+    """
+
+    name: str
+    kind: FomKind = FomKind.RUNTIME
+    unit: str = "s"
+    work: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is not FomKind.RUNTIME and (self.work is None or
+                                                 self.work <= 0):
+            raise ValueError(
+                f"FOM {self.name!r}: kind {self.kind.value} needs positive work")
+
+    def time_metric(self, measured: float) -> float:
+        """Normalise a raw measurement to seconds (lower is better)."""
+        if measured <= 0:
+            raise ValueError(f"FOM {self.name!r}: measurement must be positive")
+        if self.kind is FomKind.RUNTIME:
+            return measured
+        # rate/bandwidth: seconds to complete the pre-defined work
+        return self.work / measured
+
+    def from_time(self, seconds: float) -> float:
+        """Inverse of :meth:`time_metric` (for reporting raw FOMs)."""
+        if seconds <= 0:
+            raise ValueError("time metric must be positive")
+        if self.kind is FomKind.RUNTIME:
+            return seconds
+        return self.work / seconds
+
+
+@dataclass(frozen=True)
+class ReferenceResult:
+    """A reference execution on the preparation system (Sec. II-C).
+
+    The time metric measured on ``nodes`` reference nodes is "the value
+    to be improved upon and committed to by proposals of system designs".
+    """
+
+    benchmark: str
+    nodes: int
+    time_metric: float
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("reference nodes must be positive")
+        if self.time_metric <= 0:
+            raise ValueError("reference time metric must be positive")
+
+    def improvement(self, committed_seconds: float) -> float:
+        """Speedup factor of a commitment over this reference (>1 is
+        better than the preparation system)."""
+        if committed_seconds <= 0:
+            raise ValueError("committed time must be positive")
+        return self.time_metric / committed_seconds

@@ -1,0 +1,123 @@
+"""High-Scaling benchmark methodology (Sec. II-B/II-C).
+
+The novel benchmark type introduced for the exascale procurement:
+
+* a workload is defined to fill a **50 PFLOP/s(th)** sub-partition of the
+  preparation system (about 640 JUWELS Booster nodes; power-of-two codes
+  take 512),
+* the future system must run a **20x larger** version on a
+  **1 EFLOP/s(th)** sub-partition,
+* the assessment is the **ratio** of the committed runtime on the future
+  sub-partition to the reference value,
+* up to four memory variants (T/S/M/L) decouple the workload size from
+  the proposed accelerator's memory.
+
+This module encodes the partition sizing, the scale-up rule and the
+ratio assessment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.hardware import SystemSpec, juwels_booster
+from ..units import EXA, PETA
+from .variants import MemoryVariant, VariantSizing
+
+#: Preparation-side partition target (Sec. II-C).
+PREP_PARTITION_FLOPS = 50.0 * PETA
+#: Proposal-side partition target.
+PROPOSAL_PARTITION_FLOPS = 1.0 * EXA
+#: Workload scale-up between the two partitions.
+SCALE_UP = PROPOSAL_PARTITION_FLOPS / PREP_PARTITION_FLOPS  # 20x
+
+
+def prep_partition_nodes(system: SystemSpec | None = None,
+                         power_of_two: bool = False) -> int:
+    """Nodes of the 50 PFLOP/s(th) preparation sub-partition.
+
+    ~640 on JUWELS Booster; 512 for codes with power-of-two constraints
+    (the paper's footnote rule).
+    """
+    sysm = system if system is not None else juwels_booster()
+    nodes = sysm.nodes_for_peak(PREP_PARTITION_FLOPS)
+    if power_of_two:
+        nodes = 1 << max(0, nodes.bit_length() - 1)
+    return nodes
+
+
+def proposal_partition_nodes(proposal: SystemSpec) -> int:
+    """Nodes of the 1 EFLOP/s(th) sub-partition of a proposed system."""
+    return proposal.nodes_for_peak(PROPOSAL_PARTITION_FLOPS)
+
+
+@dataclass(frozen=True)
+class HighScalingAssessment:
+    """Outcome of one High-Scaling commitment evaluation.
+
+    ``ratio`` = committed runtime on the 1 EFLOP/s(th) proposal
+    sub-partition / reference runtime on the preparation sub-partition.
+    Because the proposal partition has 20x the peak and runs a 20x
+    workload, a perfectly weak-scaling, architecture-equivalent system
+    would land at ratio 1.0; smaller is better.
+    """
+
+    benchmark: str
+    variant: MemoryVariant
+    reference_runtime: float
+    committed_runtime: float
+
+    def __post_init__(self) -> None:
+        if self.reference_runtime <= 0 or self.committed_runtime <= 0:
+            raise ValueError("runtimes must be positive")
+
+    @property
+    def ratio(self) -> float:
+        """Committed / reference -- the procurement's comparison value."""
+        return self.committed_runtime / self.reference_runtime
+
+    @property
+    def speedup(self) -> float:
+        """Convenience inverse of :attr:`ratio`."""
+        return 1.0 / self.ratio
+
+
+@dataclass(frozen=True)
+class HighScalingCase:
+    """Rules of one High-Scaling benchmark.
+
+    Encodes which variants exist, whether the application needs
+    power-of-two node counts (Chroma, JUQCS), and how to choose the
+    variant for a given proposed accelerator.
+    """
+
+    benchmark: str
+    variants: tuple[MemoryVariant, ...]
+    power_of_two: bool = False
+    sizing: VariantSizing = VariantSizing()
+
+    def prep_nodes(self, system: SystemSpec | None = None) -> int:
+        """Preparation sub-partition size under this case's constraints."""
+        return prep_partition_nodes(system, power_of_two=self.power_of_two)
+
+    def choose_variant(self, proposal: SystemSpec) -> MemoryVariant:
+        """Variant selection rule for a proposed system.
+
+        The workload memory per device stays at the *reference* variant
+        size (the proposal runs a 20x problem on ~20x the devices), so
+        the largest variant fitting the proposed device wins.
+        """
+        return self.sizing.best_variant(proposal.node.device,
+                                        available=self.variants)
+
+    def assess(self, variant: MemoryVariant, reference_runtime: float,
+               committed_runtime: float) -> HighScalingAssessment:
+        """Build the ratio assessment, validating the variant."""
+        if variant not in self.variants:
+            raise ValueError(
+                f"{self.benchmark} offers {[v.value for v in self.variants]}, "
+                f"not {variant.value}")
+        return HighScalingAssessment(
+            benchmark=self.benchmark, variant=variant,
+            reference_runtime=reference_runtime,
+            committed_runtime=committed_runtime)

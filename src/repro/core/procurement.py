@@ -1,0 +1,163 @@
+"""Procurement evaluation: rule validation and proposal scoring.
+
+Combines the pieces of Sec. II into the end-to-end procedure: proposals
+commit time metrics for the Base mix and runtimes for the High-Scaling
+cases; commitments are validated against the benchmark rules (Sec. V-B:
+"Thorough execution rules and modification guidelines determine the
+envisioned outcome"); the TCO value-for-money metric and the
+High-Scaling ratios are then "compared and incorporated with other
+aspects into the final assessment".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .fom import ReferenceResult
+from .highscaling import HighScalingAssessment, HighScalingCase
+from .tco import SystemProposal, TcoModel, WorkloadMix
+from .variants import MemoryVariant
+
+
+@dataclass(frozen=True)
+class RuleViolation:
+    """One broken benchmark rule in a proposal."""
+
+    benchmark: str
+    rule: str
+
+
+@dataclass
+class HighScalingCommitment:
+    """A vendor's High-Scaling commitment for one benchmark."""
+
+    benchmark: str
+    variant: MemoryVariant
+    runtime: float
+
+    def __post_init__(self) -> None:
+        if self.runtime <= 0:
+            raise ValueError("committed runtime must be positive")
+
+
+@dataclass
+class ProcurementScore:
+    """The final per-proposal evaluation."""
+
+    proposal: str
+    value_for_money: float
+    highscaling: list[HighScalingAssessment] = field(default_factory=list)
+    violations: list[RuleViolation] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        return not self.violations
+
+    @property
+    def mean_highscaling_ratio(self) -> float:
+        """Geometric mean of High-Scaling ratios (lower is better)."""
+        if not self.highscaling:
+            return float("nan")
+        prod = 1.0
+        for a in self.highscaling:
+            prod *= a.ratio
+        return prod ** (1.0 / len(self.highscaling))
+
+    def combined_score(self, highscaling_weight: float = 0.3) -> float:
+        """Single scalar: value-for-money boosted by High-Scaling speedup.
+
+        The paper keeps the exact weighting confidential; we expose the
+        weight as a parameter and default to emphasising the Base mix.
+        """
+        if not 0.0 <= highscaling_weight < 1.0:
+            raise ValueError("weight must be in [0, 1)")
+        hs_factor = 1.0
+        if self.highscaling:
+            hs_factor = (1.0 / self.mean_highscaling_ratio) ** (
+                highscaling_weight / (1.0 - highscaling_weight))
+        return self.value_for_money * hs_factor
+
+
+class ProcurementEvaluation:
+    """End-to-end evaluation of competing system proposals."""
+
+    def __init__(self, mix: WorkloadMix,
+                 references: dict[str, ReferenceResult],
+                 highscaling_cases: dict[str, HighScalingCase],
+                 highscaling_references: dict[str, float]):
+        self.tco = TcoModel(mix=mix, references=references)
+        self.mix = mix
+        self.references = references
+        self.cases = highscaling_cases
+        self.hs_references = highscaling_references
+        for name in highscaling_cases:
+            if name not in highscaling_references:
+                raise ValueError(
+                    f"no High-Scaling reference runtime for {name!r}")
+
+    # -- rule validation --------------------------------------------------------
+
+    def validate(self, proposal: SystemProposal,
+                 hs_commitments: dict[str, HighScalingCommitment]
+                 ) -> list[RuleViolation]:
+        """Check a proposal against the suite's execution rules."""
+        violations: list[RuleViolation] = []
+        for bench in proposal.missing(self.mix):
+            violations.append(RuleViolation(
+                benchmark=bench, rule="missing Base commitment"))
+        for bench, c in proposal.commitments.items():
+            if c.nodes > proposal.system.nodes:
+                violations.append(RuleViolation(
+                    benchmark=bench,
+                    rule=f"commitment uses {c.nodes} nodes, system has "
+                         f"{proposal.system.nodes}"))
+        for name, case in self.cases.items():
+            hc = hs_commitments.get(name)
+            if hc is None:
+                violations.append(RuleViolation(
+                    benchmark=name, rule="missing High-Scaling commitment"))
+                continue
+            if hc.variant not in case.variants:
+                violations.append(RuleViolation(
+                    benchmark=name,
+                    rule=f"variant {hc.variant.value} not offered "
+                         f"(allowed: {[v.value for v in case.variants]})"))
+                continue
+            if not case.sizing.fits(hc.variant, proposal.system.node.device):
+                violations.append(RuleViolation(
+                    benchmark=name,
+                    rule=f"variant {hc.variant.value} does not fit "
+                         f"{proposal.system.node.device.name}"))
+        return violations
+
+    # -- scoring ----------------------------------------------------------------
+
+    def score(self, proposal: SystemProposal,
+              hs_commitments: dict[str, HighScalingCommitment]
+              ) -> ProcurementScore:
+        """Validate and score one proposal."""
+        violations = self.validate(proposal, hs_commitments)
+        assessments: list[HighScalingAssessment] = []
+        if not violations:
+            vfm = self.tco.assess(proposal).value_for_money
+            for name, case in self.cases.items():
+                hc = hs_commitments[name]
+                assessments.append(case.assess(
+                    hc.variant, self.hs_references[name], hc.runtime))
+        else:
+            vfm = 0.0
+        return ProcurementScore(proposal=proposal.name,
+                                value_for_money=vfm,
+                                highscaling=assessments,
+                                violations=violations)
+
+    def select(self, candidates: list[tuple[SystemProposal,
+                                            dict[str, HighScalingCommitment]]],
+               highscaling_weight: float = 0.3) -> list[ProcurementScore]:
+        """Score all candidates; valid ones first, best combined score
+        first within each group."""
+        scores = [self.score(p, hs) for p, hs in candidates]
+        return sorted(scores,
+                      key=lambda s: (not s.valid,
+                                     -s.combined_score(highscaling_weight)
+                                     if s.valid else 0.0))

@@ -1,0 +1,131 @@
+"""Scaling studies: the machinery behind Figures 2 and 3.
+
+Figure 2 plots every Base application's *strong scaling* -- relative
+runtime at roughly 0.5/0.75/1/1.5/2 x the reference node count, with the
+reference execution pinned at (1, 1).  Figure 3 plots the five
+High-Scaling applications' *weak scaling efficiency* over a wide node
+range.  This module runs those sweeps against any callable benchmark and
+computes the derived quantities (speedup, parallel efficiency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+#: The standard Fig. 2 multipliers around the reference node count.
+FIG2_FACTORS: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 2.0)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (nodes, runtime) sample of a scaling study."""
+
+    nodes: int
+    runtime: float
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.runtime <= 0:
+            raise ValueError("invalid scaling point")
+
+
+@dataclass
+class StrongScalingResult:
+    """A strong-scaling curve with its reference execution."""
+
+    benchmark: str
+    reference: ScalingPoint
+    points: list[ScalingPoint] = field(default_factory=list)
+
+    def relative(self) -> list[tuple[float, float]]:
+        """Fig. 2 coordinates: (nodes/ref_nodes, runtime/ref_runtime)."""
+        return [(p.nodes / self.reference.nodes,
+                 p.runtime / self.reference.runtime) for p in self.points]
+
+    def speedup(self, point: ScalingPoint) -> float:
+        """Speedup over the reference execution."""
+        return self.reference.runtime / point.runtime
+
+    def efficiency(self, point: ScalingPoint) -> float:
+        """Strong-scaling parallel efficiency vs the reference."""
+        return self.speedup(point) * self.reference.nodes / point.nodes
+
+    def monotone_decreasing(self) -> bool:
+        """Whether more nodes never made the run slower."""
+        pts = sorted(self.points, key=lambda p: p.nodes)
+        return all(a.runtime >= b.runtime * 0.999
+                   for a, b in zip(pts, pts[1:]))
+
+
+@dataclass
+class WeakScalingResult:
+    """A weak-scaling curve (problem grows with nodes)."""
+
+    benchmark: str
+    points: list[ScalingPoint] = field(default_factory=list)
+
+    def efficiency(self) -> list[tuple[int, float]]:
+        """Fig. 3 series: (nodes, t_base / t_n); 1.0 is perfect."""
+        if not self.points:
+            return []
+        pts = sorted(self.points, key=lambda p: p.nodes)
+        base = pts[0].runtime
+        return [(p.nodes, base / p.runtime) for p in pts]
+
+    def efficiency_at(self, nodes: int) -> float:
+        """Weak-scaling efficiency at a specific node count."""
+        for n, eff in self.efficiency():
+            if n == nodes:
+                return eff
+        raise KeyError(f"no weak-scaling point at {nodes} nodes")
+
+
+def scaled_node_counts(reference: int,
+                       factors: Sequence[float] = FIG2_FACTORS,
+                       minimum: int = 1,
+                       power_of_two: bool = False) -> list[int]:
+    """Node counts surrounding a reference (Fig. 2's sweep).
+
+    ``power_of_two`` applies the footnote rule: benchmarks with
+    powers-of-two constraints take the closest smaller compatible count.
+    """
+    counts = []
+    for f in factors:
+        n = max(minimum, round(reference * f))
+        if power_of_two:
+            n = 1 << max(0, n.bit_length() - 1)
+        if n not in counts:
+            counts.append(n)
+    return counts
+
+
+def strong_scaling(benchmark: str,
+                   run: Callable[[int], float],
+                   reference_nodes: int,
+                   factors: Sequence[float] = FIG2_FACTORS,
+                   power_of_two: bool = False) -> StrongScalingResult:
+    """Run a strong-scaling study: same workload, varying node counts.
+
+    ``run(nodes)`` must return the runtime (time-metric seconds).
+    """
+    counts = scaled_node_counts(reference_nodes, factors,
+                                power_of_two=power_of_two)
+    if reference_nodes not in counts:
+        counts.append(reference_nodes)
+    points = [ScalingPoint(nodes=n, runtime=run(n)) for n in sorted(counts)]
+    ref = next(p for p in points if p.nodes == reference_nodes)
+    return StrongScalingResult(benchmark=benchmark, reference=ref,
+                               points=points)
+
+
+def weak_scaling(benchmark: str,
+                 run: Callable[[int], float],
+                 node_counts: Iterable[int]) -> WeakScalingResult:
+    """Run a weak-scaling study: workload grows with the node count.
+
+    ``run(nodes)`` must return the runtime for the *proportionally
+    enlarged* problem; the callable owns the problem-size rule.
+    """
+    points = [ScalingPoint(nodes=n, runtime=run(n))
+              for n in sorted(set(node_counts))]
+    return WeakScalingResult(benchmark=benchmark, points=points)

@@ -1,0 +1,211 @@
+"""The suite facade and the Fig.-1 creation pipeline.
+
+:class:`JupiterBenchmarkSuite` is the user-facing entry point: look up
+benchmarks, run them on the simulated machine, run the Fig. 2 / Fig. 3
+scaling studies, and drive a full procurement evaluation.
+
+:func:`creation_pipeline` mirrors Figure 1's process -- workload
+analysis -> application selection -> benchmark preparation ->
+optimisation feedback loop -> packaging -- as executable stages, used by
+the suite-pipeline bench and the project-management tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from .benchmark import Benchmark, BenchmarkResult, Category
+from .fom import ReferenceResult
+from .registry import BENCHMARKS, BenchmarkInfo, get_info
+from .scaling import (
+    StrongScalingResult,
+    WeakScalingResult,
+    strong_scaling,
+    weak_scaling,
+)
+from .variants import MemoryVariant
+
+
+class JupiterBenchmarkSuite:
+    """All runnable benchmarks of the suite, keyed by Table II name.
+
+    Implementations self-register through :meth:`register`; importing
+    :mod:`repro.apps` and :mod:`repro.synthetic` populates the default
+    instance returned by :func:`load_suite`.
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[[], Benchmark]] = {}
+        self._instances: dict[str, Benchmark] = {}
+
+    # -- registry ------------------------------------------------------------
+
+    def register(self, name: str,
+                 factory: Callable[[], Benchmark]) -> None:
+        """Register a benchmark implementation for a Table II name."""
+        get_info(name)  # validates the name
+        self._factories[name] = factory
+
+    def names(self) -> list[str]:
+        """Registered benchmark names in Table II order."""
+        ordered = [b.name for b in BENCHMARKS]
+        return [n for n in ordered if n in self._factories]
+
+    def get(self, name: str) -> Benchmark:
+        """The (cached) benchmark implementation for a name."""
+        if name not in self._factories:
+            raise KeyError(
+                f"benchmark {name!r} has no registered implementation; "
+                f"registered: {', '.join(self.names()) or '(none)'}")
+        if name not in self._instances:
+            self._instances[name] = self._factories[name]()
+        return self._instances[name]
+
+    def infos(self, category: Category | None = None) -> list[BenchmarkInfo]:
+        """Metadata of registered benchmarks, optionally by category."""
+        out = []
+        for name in self.names():
+            info = get_info(name)
+            if category is None or category in info.categories:
+                out.append(info)
+        return out
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, name: str, nodes: int | None = None, *,
+            variant: MemoryVariant | None = None,
+            scale: float = 1.0, real: bool = False) -> BenchmarkResult:
+        """Run one benchmark (see :meth:`Benchmark.run`)."""
+        return self.get(name).run(nodes, variant=variant, scale=scale,
+                                  real=real)
+
+    def reference_run(self, name: str, scale: float = 1.0) -> ReferenceResult:
+        """Execute on the reference node count; produce the reference
+        time metric proposals must beat (Sec. II-C)."""
+        info = get_info(name)
+        result = self.run(name, info.reference_nodes, scale=scale)
+        return ReferenceResult(benchmark=name, nodes=info.reference_nodes,
+                               time_metric=result.fom_seconds)
+
+    def strong_scaling_study(self, name: str, *, scale: float = 1.0,
+                             power_of_two: bool = False
+                             ) -> StrongScalingResult:
+        """The Fig.-2 study for one Base benchmark."""
+        info = get_info(name)
+
+        def run(nodes: int) -> float:
+            return self.run(name, nodes, scale=scale).fom_seconds
+
+        return strong_scaling(name, run, info.reference_nodes,
+                              power_of_two=power_of_two)
+
+    def weak_scaling_study(self, name: str, node_counts: Iterable[int], *,
+                           variant: MemoryVariant | None = None,
+                           scale: float = 1.0) -> WeakScalingResult:
+        """The Fig.-3 study for one High-Scaling benchmark.
+
+        The benchmark's own workload rule grows the problem with the
+        node count (each implementation sizes per-device work from the
+        memory variant).
+        """
+
+        def run(nodes: int) -> float:
+            return self.run(name, nodes, variant=variant,
+                            scale=scale).fom_seconds
+
+        return weak_scaling(name, run, node_counts)
+
+
+_DEFAULT: JupiterBenchmarkSuite | None = None
+
+
+def load_suite() -> JupiterBenchmarkSuite:
+    """The fully populated default suite (imports all implementations)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = JupiterBenchmarkSuite()
+        from .. import apps, synthetic  # noqa: F401  (self-registration)
+        apps.register_all(_DEFAULT)
+        synthetic.register_all(_DEFAULT)
+    return _DEFAULT
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1: the suite-creation pipeline
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PipelineState:
+    """Evolving state of the suite-creation process."""
+
+    workload_analysis: dict[str, float] = field(default_factory=dict)
+    selected: list[str] = field(default_factory=list)
+    prepared: dict[str, dict] = field(default_factory=dict)
+    optimisation_rounds: int = 0
+    packaged: list[str] = field(default_factory=list)
+    log: list[str] = field(default_factory=list)
+
+
+#: The 11-point readiness checklist tracked per application (Sec. III-E).
+CHECKLIST = (
+    "source code availability",
+    "licence clarified",
+    "test case defined",
+    "input data prepared",
+    "JUBE integration",
+    "verification implemented",
+    "reference execution",
+    "scaling study",
+    "rules documented",
+    "description created",
+    "repository packaged",
+)
+
+
+def analyse_workloads(allocations: dict[str, float]) -> dict[str, float]:
+    """Stage 1: normalise compute-time allocations by domain."""
+    total = sum(allocations.values())
+    if total <= 0:
+        raise ValueError("no allocation data")
+    return {k: v / total for k, v in sorted(allocations.items())}
+
+
+def select_applications(shares: dict[str, float],
+                        candidates: dict[str, str],
+                        min_share: float = 0.02) -> list[str]:
+    """Stage 2: keep candidates whose domain carries enough allocation."""
+    return [app for app, domain in candidates.items()
+            if shares.get(domain, 0.0) >= min_share]
+
+
+def prepare_benchmark(name: str,
+                      completed: Iterable[str] = CHECKLIST) -> dict:
+    """Stage 3: the per-application checklist record."""
+    done = set(completed)
+    unknown = done - set(CHECKLIST)
+    if unknown:
+        raise ValueError(f"unknown checklist items: {sorted(unknown)}")
+    return {item: (item in done) for item in CHECKLIST}
+
+
+def creation_pipeline(allocations: dict[str, float],
+                      candidates: dict[str, str],
+                      optimisation_rounds: int = 2) -> PipelineState:
+    """Run the full Fig.-1 pipeline and return the final state."""
+    state = PipelineState()
+    state.workload_analysis = analyse_workloads(allocations)
+    state.log.append("analysed workload allocations")
+    state.selected = select_applications(state.workload_analysis, candidates)
+    state.log.append(f"selected {len(state.selected)} applications")
+    for app in state.selected:
+        state.prepared[app] = prepare_benchmark(app)
+    state.log.append("prepared benchmarks (checklists complete)")
+    for _ in range(optimisation_rounds):
+        state.optimisation_rounds += 1
+        state.log.append("optimisation feedback round")
+    ready = [app for app, checklist in state.prepared.items()
+             if all(checklist.values())]
+    state.packaged = sorted(ready)
+    state.log.append(f"packaged {len(state.packaged)} benchmarks")
+    return state

@@ -1,0 +1,177 @@
+"""TCO-based value-for-money evaluation (Sec. II-B).
+
+"The procurement for the JUPITER system uses a Total-Cost-of-Ownership-
+based (TCO) value-for-money approach, in which the number of executed
+reference workloads over the lifespan of the system determines the
+value."  Electricity and cooling are a substantial part of the budget,
+so the denominator includes projected energy cost, and the numerator is
+a weighted mix of application workloads ("a greater emphasis is placed
+on application performance rather than on synthetic tests").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.energy import EnergyModel
+from ..cluster.hardware import SystemSpec
+from .fom import ReferenceResult
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """A vendor's committed execution of one reference workload.
+
+    ``nodes`` is freely chosen by the proposal ("typically smaller than
+    the reference number of nodes"); ``time_metric`` is the committed
+    normalised runtime on those nodes.
+    """
+
+    benchmark: str
+    nodes: int
+    time_metric: float
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.time_metric <= 0:
+            raise ValueError("invalid commitment")
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One benchmark's share of the system's expected workload mix."""
+
+    benchmark: str
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("workload weight must be positive")
+
+
+@dataclass
+class WorkloadMix:
+    """The weighted application mix used by the value computation."""
+
+    entries: list[WorkloadEntry] = field(default_factory=list)
+
+    def add(self, benchmark: str, weight: float) -> "WorkloadMix":
+        self.entries.append(WorkloadEntry(benchmark=benchmark, weight=weight))
+        return self
+
+    @property
+    def total_weight(self) -> float:
+        return sum(e.weight for e in self.entries)
+
+    def normalised(self) -> dict[str, float]:
+        """Weights scaled to sum to one."""
+        total = self.total_weight
+        if total <= 0:
+            raise ValueError("workload mix is empty")
+        return {e.benchmark: e.weight / total for e in self.entries}
+
+
+@dataclass
+class SystemProposal:
+    """A bidder's proposal: machine + commitments + capital cost."""
+
+    name: str
+    system: SystemSpec
+    commitments: dict[str, Commitment] = field(default_factory=dict)
+    capex_eur: float = 250e6
+    lifetime_years: float = 6.0
+    avg_utilization: float = 0.8
+    eur_per_kwh: float = 0.20
+
+    def commit(self, benchmark: str, nodes: int,
+               time_metric: float) -> "SystemProposal":
+        """Record a commitment (fluent)."""
+        self.commitments[benchmark] = Commitment(
+            benchmark=benchmark, nodes=nodes, time_metric=time_metric)
+        return self
+
+    def missing(self, mix: WorkloadMix) -> list[str]:
+        """Mix benchmarks without a commitment (validation helper)."""
+        return [e.benchmark for e in mix.entries
+                if e.benchmark not in self.commitments]
+
+
+@dataclass(frozen=True)
+class TcoAssessment:
+    """The value-for-money result of one proposal."""
+
+    proposal: str
+    workloads_over_lifetime: float
+    tco_eur: float
+
+    @property
+    def value_for_money(self) -> float:
+        """Executed reference workloads per million EUR of TCO."""
+        return self.workloads_over_lifetime / (self.tco_eur / 1e6)
+
+
+class TcoModel:
+    """Computes the value-for-money metric for proposals.
+
+    The *value* of a proposal is the number of reference workloads it can
+    execute over its lifetime: per benchmark, the whole machine running
+    that workload back-to-back executes ``(system_nodes / job_nodes) /
+    time_metric`` instances per second; the weighted harmonic combination
+    over the mix gives the blended workload rate (a machine must be good
+    at *all* of the mix, not just some of it).
+    """
+
+    def __init__(self, mix: WorkloadMix,
+                 references: dict[str, ReferenceResult]):
+        self.mix = mix
+        self.references = references
+        for entry in mix.entries:
+            if entry.benchmark not in references:
+                raise ValueError(
+                    f"no reference result for mix entry {entry.benchmark!r}")
+
+    def workload_rate(self, proposal: SystemProposal) -> float:
+        """Blended reference-workloads/second of the full system."""
+        missing = proposal.missing(self.mix)
+        if missing:
+            raise ValueError(
+                f"proposal {proposal.name!r} lacks commitments for: "
+                f"{', '.join(missing)}")
+        weights = self.mix.normalised()
+        # Time the full system needs to execute one *blended* workload:
+        # each benchmark contributes its weight share of machine-seconds.
+        seconds_per_blend = 0.0
+        for bench, w in weights.items():
+            c = proposal.commitments[bench]
+            # One instance occupies c.nodes for c.time_metric seconds; the
+            # machine runs system_nodes / c.nodes instances concurrently.
+            concurrent = proposal.system.nodes / c.nodes
+            seconds_per_instance = c.time_metric / concurrent
+            seconds_per_blend += w * seconds_per_instance
+        return 1.0 / seconds_per_blend
+
+    def workloads_over_lifetime(self, proposal: SystemProposal) -> float:
+        """Total blended workloads over the proposal's lifetime."""
+        seconds = proposal.lifetime_years * 365.25 * 24 * 3600
+        return self.workload_rate(proposal) * seconds * proposal.avg_utilization
+
+    def tco(self, proposal: SystemProposal) -> float:
+        """Capex plus projected lifetime energy cost [EUR]."""
+        energy = EnergyModel(system=proposal.system)
+        opex = energy.lifetime_energy_cost(
+            lifetime_years=proposal.lifetime_years,
+            avg_utilization=proposal.avg_utilization,
+            eur_per_kwh=proposal.eur_per_kwh)
+        return proposal.capex_eur + opex
+
+    def assess(self, proposal: SystemProposal) -> TcoAssessment:
+        """Full value-for-money assessment of one proposal."""
+        return TcoAssessment(
+            proposal=proposal.name,
+            workloads_over_lifetime=self.workloads_over_lifetime(proposal),
+            tco_eur=self.tco(proposal))
+
+    def rank(self, proposals: list[SystemProposal]) -> list[TcoAssessment]:
+        """Assess and sort proposals, best value-for-money first."""
+        assessments = [self.assess(p) for p in proposals]
+        return sorted(assessments, key=lambda a: a.value_for_money,
+                      reverse=True)

@@ -1,0 +1,84 @@
+"""High-Scaling memory variants T / S / M / L (Sec. II-C).
+
+To decouple the benchmark from the (unknown) memory capacity of proposed
+accelerators, each High-Scaling workload exists in up to four reference
+variants sized to 25 / 50 / 75 / 100 % of the preparation system's 40 GB
+GPU memory.  "The system proposal may choose the variant that best
+exploits the available memory on the proposed accelerator after
+scale-up."  This module implements the sizing and that selection rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..cluster.hardware import A100, DeviceSpec
+
+
+class MemoryVariant(Enum):
+    """The four reference workload sizes."""
+
+    TINY = "T"
+    SMALL = "S"
+    MEDIUM = "M"
+    LARGE = "L"
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of reference GPU memory the variant occupies."""
+        return {"T": 0.25, "S": 0.50, "M": 0.75, "L": 1.00}[self.value]
+
+    @classmethod
+    def from_label(cls, label: str) -> "MemoryVariant":
+        """Parse ``'T'/'S'/'M'/'L'`` (case-insensitive)."""
+        try:
+            return cls(label.upper())
+        except ValueError:
+            raise ValueError(f"unknown memory variant {label!r}; "
+                             "expected one of T, S, M, L")
+
+
+@dataclass(frozen=True)
+class VariantSizing:
+    """Memory sizing of variants relative to a reference device."""
+
+    reference_device: DeviceSpec = A100
+    #: fraction of device memory actually usable by the workload (the
+    #: runtime, comm buffers etc. take the rest)
+    usable_fraction: float = 0.95
+
+    def bytes_per_device(self, variant: MemoryVariant) -> float:
+        """Workload bytes per reference device for a variant."""
+        return (self.reference_device.mem_capacity * self.usable_fraction *
+                variant.fraction)
+
+    def fits(self, variant: MemoryVariant, device: DeviceSpec,
+             scaleup: float = 1.0) -> bool:
+        """Whether a variant (scaled up by ``scaleup`` per device) fits a
+        proposed device's memory."""
+        needed = self.bytes_per_device(variant) * scaleup
+        return needed <= device.mem_capacity * self.usable_fraction
+
+    def best_variant(self, device: DeviceSpec,
+                     available: tuple[MemoryVariant, ...] = tuple(MemoryVariant),
+                     scaleup: float = 1.0) -> MemoryVariant:
+        """The largest available variant that fits the proposed device.
+
+        This is the proposal-side selection rule: exploit as much of the
+        accelerator's memory as possible without spilling (which would
+        mask its compute capability -- the risk Sec. II-C describes).
+        """
+        if not available:
+            raise ValueError("no variants available")
+        fitting = [v for v in available if self.fits(v, device, scaleup)]
+        if not fitting:
+            raise ValueError(
+                f"no variant of {[v.value for v in available]} fits "
+                f"{device.name} ({device.mem_capacity / 1e9:.0f} GB)")
+        return max(fitting, key=lambda v: v.fraction)
+
+
+def variant_labels(variants: tuple[MemoryVariant, ...]) -> str:
+    """Compact Table-II-style label, e.g. ``'T,S,M,L'``."""
+    return ",".join(v.value for v in variants)

@@ -1,0 +1,164 @@
+"""Result verification framework (Sec. V-A).
+
+The paper classifies verification experience into four strengths:
+
+1. **exact** -- theoretically known results (JUQCS);
+2. **tolerance** -- numeric comparison against a pre-computed reference
+   (Chroma: 1e-10 for Base, 1e-8 for High-Scaling);
+3. **model-based** -- key metrics extracted from the solution are
+   compared against a model (ICON, nekRS);
+4. **framework-inherent** -- the application's own invariants / output
+   keys must be present and sane (PIConGPU, Megatron-LM) -- "arguably
+   the weakest form of verification".
+
+Each verifier returns a :class:`VerificationResult` so the suite can
+report not just pass/fail but also the method's strength.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+
+class VerificationMethod(enum.Enum):
+    """Strength-ordered verification classes (strongest first)."""
+
+    EXACT = "exact"
+    TOLERANCE = "tolerance"
+    MODEL_BASED = "model-based"
+    FRAMEWORK = "framework-inherent"
+
+    @property
+    def strength(self) -> int:
+        """Rank for comparisons: lower is stronger."""
+        order = [VerificationMethod.EXACT, VerificationMethod.TOLERANCE,
+                 VerificationMethod.MODEL_BASED, VerificationMethod.FRAMEWORK]
+        return order.index(self)
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of a verification check."""
+
+    ok: bool
+    method: VerificationMethod
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@dataclass(frozen=True)
+class ExactVerifier:
+    """Bit-for-bit (or allclose-at-machine-eps) comparison against the
+    theoretically known result."""
+
+    expected: Any
+    atol: float = 0.0
+
+    def __call__(self, value: Any) -> VerificationResult:
+        expected = np.asarray(self.expected)
+        got = np.asarray(value)
+        if expected.shape != got.shape:
+            return VerificationResult(
+                False, VerificationMethod.EXACT,
+                f"shape mismatch: {got.shape} != {expected.shape}")
+        if self.atol == 0.0:
+            ok = bool(np.array_equal(expected, got))
+        else:
+            ok = bool(np.allclose(expected, got, rtol=0.0, atol=self.atol))
+        detail = "exact match" if ok else "mismatch vs theoretical result"
+        return VerificationResult(ok, VerificationMethod.EXACT, detail)
+
+
+@dataclass(frozen=True)
+class ToleranceVerifier:
+    """Comparison against a pre-computed reference within a tolerance.
+
+    Chroma uses 1e-10 (Base) / 1e-8 (High-Scaling); the tolerance is a
+    parameter precisely because it is part of the benchmark rules.
+    """
+
+    reference: Any
+    rtol: float
+
+    def __post_init__(self) -> None:
+        if self.rtol <= 0:
+            raise ValueError("tolerance must be positive")
+
+    def __call__(self, value: Any) -> VerificationResult:
+        ref = np.asarray(self.reference, dtype=float)
+        got = np.asarray(value, dtype=float)
+        if ref.shape != got.shape:
+            return VerificationResult(
+                False, VerificationMethod.TOLERANCE,
+                f"shape mismatch: {got.shape} != {ref.shape}")
+        scale = np.maximum(np.abs(ref), 1e-300)
+        err = float(np.max(np.abs(got - ref) / scale))
+        ok = err <= self.rtol
+        return VerificationResult(
+            ok, VerificationMethod.TOLERANCE,
+            f"max relative error {err:.3e} vs tolerance {self.rtol:.0e}")
+
+
+@dataclass(frozen=True)
+class ModelVerifier:
+    """Key metrics extracted from the solution checked against a model.
+
+    ``checks`` maps metric names to ``(extract, low, high)`` where
+    ``extract`` pulls the metric from the result object and the bounds
+    come from the physical/numerical model (e.g. ICON conservation, the
+    Nusselt-number band for nekRS' Rayleigh-Benard case).
+    """
+
+    checks: Mapping[str, tuple[Callable[[Any], float], float, float]]
+
+    def __call__(self, value: Any) -> VerificationResult:
+        failures = []
+        for name, (extract, low, high) in self.checks.items():
+            metric = float(extract(value))
+            if not low <= metric <= high:
+                failures.append(f"{name}={metric:.6g} outside [{low:g}, {high:g}]")
+        ok = not failures
+        detail = "all model metrics in band" if ok else "; ".join(failures)
+        return VerificationResult(ok, VerificationMethod.MODEL_BASED, detail)
+
+
+@dataclass(frozen=True)
+class FrameworkVerifier:
+    """Framework-inherent verification: required keys present, optional
+    monotone-decrease check on a series (training loss)."""
+
+    required_keys: tuple[str, ...] = ()
+    decreasing_series: str | None = None
+    #: allow this relative amount of non-monotonicity (stochastic loss)
+    slack: float = 0.05
+
+    def __call__(self, outputs: Mapping[str, Any]) -> VerificationResult:
+        missing = [k for k in self.required_keys if k not in outputs]
+        if missing:
+            return VerificationResult(
+                False, VerificationMethod.FRAMEWORK,
+                f"missing output keys: {', '.join(missing)}")
+        if self.decreasing_series is not None:
+            series = np.asarray(outputs[self.decreasing_series], dtype=float)
+            if series.size < 2:
+                return VerificationResult(
+                    False, VerificationMethod.FRAMEWORK,
+                    f"series {self.decreasing_series!r} too short")
+            head = max(1, series.size // 4)
+            start = float(np.mean(series[:head]))
+            end = float(np.mean(series[-head:]))
+            # Stochastic training curves wobble; require the tail mean to
+            # sit clearly below the head mean.
+            if end > start * (1.0 - self.slack):
+                return VerificationResult(
+                    False, VerificationMethod.FRAMEWORK,
+                    f"{self.decreasing_series} did not decrease "
+                    f"({start:.4g} -> {end:.4g})")
+        return VerificationResult(True, VerificationMethod.FRAMEWORK,
+                                  "framework outputs present and sane")

@@ -1,0 +1,51 @@
+"""A native re-implementation of the JUBE workflow environment semantics.
+
+The paper's replicability infrastructure (Sec. III-B): parameter sets
+with dependency-resolved ``$ref`` substitution and python-mode
+evaluation, tag-selected variants, step DAGs, platform inheritance, and
+tabular result extraction.
+"""
+
+from .parameters import Parameter, ParameterError, ParameterSet, expand, resolve
+from .platform import (
+    JUPITER_BOOSTER,
+    JUWELS_BOOSTER,
+    JUWELS_CLUSTER,
+    PLATFORMS,
+    Platform,
+    get_platform,
+)
+from .result import Column, ResultTable, WorkunitRecord, table
+from .spec import SpecError, load_spec
+from .runtime import BenchmarkSpec, JubeRuntime, RunResult, WorkunitRun, submit_step
+from .steps import Step, StepContext, StepError, Task, step_order
+
+__all__ = [
+    "BenchmarkSpec",
+    "Column",
+    "JUPITER_BOOSTER",
+    "JUWELS_BOOSTER",
+    "JUWELS_CLUSTER",
+    "JubeRuntime",
+    "PLATFORMS",
+    "Parameter",
+    "ParameterError",
+    "ParameterSet",
+    "Platform",
+    "ResultTable",
+    "RunResult",
+    "Step",
+    "StepContext",
+    "StepError",
+    "Task",
+    "WorkunitRecord",
+    "SpecError",
+    "WorkunitRun",
+    "expand",
+    "get_platform",
+    "load_spec",
+    "resolve",
+    "step_order",
+    "submit_step",
+    "table",
+]

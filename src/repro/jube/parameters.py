@@ -1,0 +1,203 @@
+"""JUBE-style parameter sets with dependency-resolved substitution.
+
+JUBE (Sec. III-B) drives every benchmark in the suite: *JUBE scripts*
+declare parameter sets whose values may reference other parameters
+(``$nodes``-style), possibly be evaluated as Python expressions
+(``mode="python"``), take multiple values (expanding the benchmark into
+one *workunit* per combination), and be guarded by *tags* that select
+sub-benchmark variants (e.g. the T/S/M/L memory variants).
+
+This module re-implements those semantics natively:
+
+* :class:`Parameter` -- one named value (template / python / multi-valued),
+* :class:`ParameterSet` -- a named collection with override-on-merge,
+* :func:`resolve` -- tag filtering, topological substitution, evaluation,
+* :func:`expand` -- cartesian expansion of multi-valued parameters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import re
+from dataclasses import dataclass, field
+from graphlib import CycleError, TopologicalSorter
+from typing import Any, Iterable
+
+_REF = re.compile(r"\$\{(\w+)\}|\$(\w+)")
+
+
+class ParameterError(ValueError):
+    """Raised for unresolvable, cyclic, or malformed parameters."""
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A single benchmark parameter.
+
+    ``value`` may be:
+
+    * a plain Python object (used as-is),
+    * a string containing ``$name`` / ``${name}`` references,
+    * a list/tuple -> the benchmark expands into one workunit per item
+      (after each item is itself substituted).
+
+    ``mode="python"`` evaluates the substituted string with a restricted
+    namespace (math + resolved parameters), mirroring JUBE's
+    ``mode="python"`` parameters.  ``tags`` restricts the parameter to
+    runs where at least one of the tags is active (untagged parameters
+    are always active) -- JUBE's tag-selection rule.
+    """
+
+    name: str
+    value: Any
+    mode: str = "text"
+    tags: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(r"\w+", self.name):
+            raise ParameterError(f"invalid parameter name {self.name!r}")
+        if self.mode not in ("text", "python"):
+            raise ParameterError(f"invalid mode {self.mode!r} for {self.name}")
+        if not isinstance(self.tags, frozenset):
+            object.__setattr__(self, "tags", frozenset(self.tags))
+
+    def active(self, active_tags: Iterable[str]) -> bool:
+        """Whether this parameter participates under the given tags."""
+        if not self.tags:
+            return True
+        return bool(self.tags & set(active_tags))
+
+    def references(self) -> set[str]:
+        """Names of parameters this value refers to via ``$name``."""
+        refs: set[str] = set()
+        values = self.value if isinstance(self.value, (list, tuple)) else [self.value]
+        for v in values:
+            if isinstance(v, str):
+                for a, b in _REF.findall(v):
+                    refs.add(a or b)
+        return refs
+
+
+@dataclass
+class ParameterSet:
+    """A named, ordered collection of parameters.
+
+    Merging two sets (``a | b``) gives b's parameters precedence --
+    JUBE's ``init_with`` override semantics, used here for platform
+    inheritance and tag-specific overrides.
+    """
+
+    name: str
+    parameters: list[Parameter] = field(default_factory=list)
+
+    def add(self, name: str, value: Any, mode: str = "text",
+            tags: Iterable[str] = ()) -> "ParameterSet":
+        """Append a parameter (fluent)."""
+        self.parameters.append(Parameter(name=name, value=value, mode=mode,
+                                         tags=frozenset(tags)))
+        return self
+
+    def __or__(self, other: "ParameterSet") -> "ParameterSet":
+        merged = ParameterSet(name=f"{self.name}|{other.name}")
+        merged.parameters = list(self.parameters) + list(other.parameters)
+        return merged
+
+    def names(self) -> list[str]:
+        """Parameter names in declaration order (later duplicates win)."""
+        return [p.name for p in self.parameters]
+
+
+def _substitute(text: str, values: dict[str, Any]) -> str:
+    def repl(match: re.Match) -> str:
+        name = match.group(1) or match.group(2)
+        if name not in values:
+            raise ParameterError(f"unresolved reference ${name}")
+        return str(values[name])
+
+    return _REF.sub(repl, text)
+
+
+_EVAL_GLOBALS = {
+    "__builtins__": {},
+    "abs": abs, "min": min, "max": max, "round": round, "int": int,
+    "float": float, "str": str, "bool": bool, "len": len, "pow": pow,
+    "sum": sum, "sorted": sorted, "range": range, "list": list,
+    "tuple": tuple, "True": True, "False": False, "None": None,
+    "ceil": math.ceil, "floor": math.floor, "sqrt": math.sqrt,
+    "log": math.log, "log2": math.log2, "exp": math.exp, "pi": math.pi,
+}
+
+
+def _evaluate(expr: str, values: dict[str, Any]) -> Any:
+    try:
+        return eval(expr, dict(_EVAL_GLOBALS), dict(values))  # noqa: S307
+    except ParameterError:
+        raise
+    except Exception as exc:
+        raise ParameterError(f"python-mode evaluation failed for {expr!r}: {exc}")
+
+
+def resolve(sets: Iterable[ParameterSet],
+            tags: Iterable[str] = ()) -> dict[str, Any]:
+    """Resolve parameter sets into concrete single values.
+
+    Tag-inactive parameters are dropped, duplicates are overridden by
+    declaration order (later wins), ``$refs`` are substituted in
+    dependency order, and python-mode values are evaluated.  Multi-valued
+    parameters are not allowed here -- use :func:`expand` first.
+    """
+    active_tags = set(tags)
+    chosen: dict[str, Parameter] = {}
+    for pset in sets:
+        for p in pset.parameters:
+            if p.active(active_tags):
+                chosen[p.name] = p
+    graph = {name: p.references() & chosen.keys()
+             for name, p in chosen.items()}
+    try:
+        order = list(TopologicalSorter(graph).static_order())
+    except CycleError as exc:
+        raise ParameterError(f"parameter reference cycle: {exc.args[1]}")
+    values: dict[str, Any] = {}
+    for name in order:
+        p = chosen[name]
+        if isinstance(p.value, (list, tuple)):
+            raise ParameterError(
+                f"parameter {name!r} is multi-valued; expand() the space first")
+        v = p.value
+        if isinstance(v, str):
+            v = _substitute(v, values)
+            if p.mode == "python":
+                v = _evaluate(v, values)
+        values[name] = v
+    return values
+
+
+def expand(sets: Iterable[ParameterSet],
+           tags: Iterable[str] = ()) -> list[dict[str, Any]]:
+    """Expand multi-valued parameters into the full workunit space.
+
+    Returns one resolved parameter dict per combination (cartesian
+    product over all multi-valued parameters, in declaration order).
+    """
+    sets = list(sets)
+    active_tags = set(tags)
+    chosen: dict[str, Parameter] = {}
+    for pset in sets:
+        for p in pset.parameters:
+            if p.active(active_tags):
+                chosen[p.name] = p
+    multi = [(name, list(p.value)) for name, p in chosen.items()
+             if isinstance(p.value, (list, tuple))]
+    if not multi:
+        return [resolve(sets, tags)]
+    combos = itertools.product(*(vals for _, vals in multi))
+    out = []
+    for combo in combos:
+        override = ParameterSet(name="_expansion")
+        for (name, _), value in zip(multi, combo):
+            mode = chosen[name].mode
+            override.add(name, value, mode=mode)
+        out.append(resolve(sets + [override], tags))
+    return out

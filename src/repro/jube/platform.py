@@ -1,0 +1,93 @@
+"""Platform definitions (JUBE's ``platform.xml`` inheritance).
+
+JUBE scripts stay system-independent by inheriting batch templates and
+system constants from per-platform definition files.  Here a platform is
+a named :class:`ParameterSet` factory with single inheritance; switching
+the platform re-targets every benchmark without touching its script --
+the property that let both JSC and the bidding vendors run the identical
+suite (reproducibility, Sec. II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cluster.hardware import (
+    SystemSpec,
+    jupiter_booster_model,
+    juwels_booster,
+    juwels_cluster,
+)
+from .parameters import ParameterSet
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A target platform: system handle plus batch/system parameters."""
+
+    name: str
+    system_factory: Any  # () -> SystemSpec
+    defaults: dict[str, Any] = field(default_factory=dict)
+    base: "Platform | None" = None
+
+    def system(self) -> SystemSpec:
+        """Instantiate the platform's system description."""
+        return self.system_factory()
+
+    def parameterset(self) -> ParameterSet:
+        """Platform parameters, base-first so derived values override."""
+        pset = self.base.parameterset() if self.base is not None else \
+            ParameterSet(name=f"platform:{self.name}")
+        pset.name = f"platform:{self.name}"
+        sysm = self.system()
+        merged: dict[str, Any] = {
+            "platform": self.name,
+            "system_nodes": sysm.nodes,
+            "gpus_per_node": sysm.node.devices_per_node
+            if sysm.node.device.kind == "gpu" else 0,
+            "tasks_per_node": sysm.node.devices_per_node,
+            "nodes_per_cell": sysm.nodes_per_cell,
+            "queue": self.defaults.get("queue", "batch"),
+            "max_walltime": self.defaults.get("max_walltime", 24 * 3600),
+        }
+        merged.update(self.defaults)
+        for key, value in merged.items():
+            pset.add(key, value)
+        return pset
+
+
+#: The preparation system for GPU benchmarks (Sec. III-A).
+JUWELS_BOOSTER = Platform(
+    name="juwels-booster",
+    system_factory=juwels_booster,
+    defaults={"queue": "booster", "modules": "GCC/11 CUDA/11.5 OpenMPI/4.1"},
+)
+
+#: The CPU module used by NAStJA, DynQCD and the MSA benchmarks.
+JUWELS_CLUSTER = Platform(
+    name="juwels-cluster",
+    system_factory=juwels_cluster,
+    defaults={"queue": "batch", "modules": "GCC/11 OpenMPI/4.1"},
+)
+
+#: A modelled JUPITER Booster proposal (for extrapolation experiments).
+JUPITER_BOOSTER = Platform(
+    name="jupiter-booster",
+    system_factory=jupiter_booster_model,
+    defaults={"queue": "booster"},
+    base=JUWELS_BOOSTER,
+)
+
+PLATFORMS: dict[str, Platform] = {
+    p.name: p for p in (JUWELS_BOOSTER, JUWELS_CLUSTER, JUPITER_BOOSTER)
+}
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a registered platform by name."""
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        known = ", ".join(sorted(PLATFORMS))
+        raise KeyError(f"unknown platform {name!r}; known: {known}")

@@ -1,0 +1,144 @@
+"""The JUBE runtime: expand, execute, collect.
+
+Ties the pieces together the way ``jube run`` does: a
+:class:`BenchmarkSpec` (parameter sets + step DAG + result tables) is
+expanded over its multi-valued parameters into workunits, each workunit
+executes the steps in dependency order, and results are collected into
+:class:`~repro.jube.result.ResultTable` renderings.
+
+Execution is in-process and deterministic.  When a spec declares
+``submit=True`` steps, they are routed through the simulated batch
+scheduler so queueing effects are part of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..cluster.scheduler import Job, Scheduler
+from .parameters import ParameterSet, expand
+from .platform import Platform
+from .result import ResultTable, WorkunitRecord
+from .steps import Step, StepContext, StepError, step_order
+
+
+@dataclass
+class BenchmarkSpec:
+    """A complete JUBE benchmark definition."""
+
+    name: str
+    parametersets: list[ParameterSet] = field(default_factory=list)
+    steps: list[Step] = field(default_factory=list)
+    tables: list[ResultTable] = field(default_factory=list)
+    platform: Platform | None = None
+
+    def all_parametersets(self) -> list[ParameterSet]:
+        sets = []
+        if self.platform is not None:
+            sets.append(self.platform.parameterset())
+        sets.extend(self.parametersets)
+        return sets
+
+
+@dataclass
+class WorkunitRun:
+    """Outcome of one workunit: parameters, step outputs, status."""
+
+    params: dict[str, Any]
+    outputs: dict[str, dict[str, Any]]
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def record(self) -> WorkunitRecord:
+        return WorkunitRecord(params=self.params, outputs=self.outputs)
+
+
+@dataclass
+class RunResult:
+    """Outcome of a full ``jube run``: all workunits plus table renderings."""
+
+    benchmark: str
+    tags: frozenset[str]
+    workunits: list[WorkunitRun]
+
+    @property
+    def ok(self) -> bool:
+        return all(w.ok for w in self.workunits)
+
+    def records(self) -> list[WorkunitRecord]:
+        return [w.record() for w in self.workunits if w.ok]
+
+    def render(self, table: ResultTable) -> str:
+        return table.render(self.records())
+
+
+class JubeRuntime:
+    """Expands and executes :class:`BenchmarkSpec` instances."""
+
+    def __init__(self, env: dict[str, Any] | None = None,
+                 scheduler: Scheduler | None = None):
+        #: shared environment passed to every step context
+        self.env = env or {}
+        self.scheduler = scheduler
+
+    def run(self, spec: BenchmarkSpec, tags: Iterable[str] = (),
+            keep_going: bool = False) -> RunResult:
+        """Run the benchmark; one workunit per parameter combination.
+
+        With ``keep_going`` a failing workunit is recorded and the rest
+        continue (useful for sweeps); otherwise the failure raises.
+        """
+        tagset = frozenset(tags)
+        ordered = step_order(spec.steps)
+        combos = expand(spec.all_parametersets(), tagset)
+        workunits: list[WorkunitRun] = []
+        for params in combos:
+            outputs: dict[str, dict[str, Any]] = {}
+            ctx = StepContext(params=params, results=outputs, tags=tagset,
+                              env=dict(self.env))
+            error: str | None = None
+            try:
+                for step in ordered:
+                    out = self._run_step(step, ctx, params)
+                    outputs.setdefault(step.name, {}).update(out)
+            except StepError as exc:
+                if not keep_going:
+                    raise
+                error = str(exc)
+            workunits.append(WorkunitRun(params=params, outputs=outputs,
+                                         error=error))
+        return RunResult(benchmark=spec.name, tags=tagset, workunits=workunits)
+
+    def _run_step(self, step: Step, ctx: StepContext,
+                  params: dict[str, Any]) -> dict[str, Any]:
+        if self.scheduler is None or not getattr(step, "submit", False):
+            return step.run(ctx)
+        nodes = int(params.get("nodes", 1))
+        walltime = float(params.get("walltime", params.get("max_walltime", 3600)))
+        holder: dict[str, Any] = {}
+
+        def payload(alloc: list[int]) -> Any:
+            ctx.env["allocated_nodes"] = alloc
+            holder["out"] = step.run(ctx)
+            fom = holder["out"].get("fom_seconds")
+            if isinstance(fom, (int, float)):
+                return type("R", (), {"seconds": float(fom)})()
+            return None
+
+        job = self.scheduler.submit(Job(name=f"{step.name}", nodes=nodes,
+                                        walltime=walltime, run=payload))
+        self.scheduler.drain()
+        if job.error is not None:
+            raise StepError(f"batch job for step {step.name!r} failed: "
+                            f"{job.error}")
+        return holder.get("out", {})
+
+
+def submit_step(step: Step) -> Step:
+    """Mark a step for batch submission through the simulated scheduler."""
+    step.submit = True  # type: ignore[attr-defined]
+    return step

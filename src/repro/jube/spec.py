@@ -1,0 +1,117 @@
+"""Declarative benchmark specs (the JUBE-script file format, as data).
+
+Real JUBE scripts are XML/YAML documents; this loader accepts the same
+structure as plain Python dicts (parseable from JSON/YAML upstream)::
+
+    spec = load_spec({
+        "name": "juqcs-sweep",
+        "platform": "juwels-booster",
+        "parametersets": [
+            {"name": "run", "parameters": [
+                {"name": "nodes", "value": [1, 2, 4]},
+                {"name": "tasks", "value": "$nodes * 4",
+                 "mode": "python"},
+                {"name": "variant", "value": "S",
+                 "tags": ["small-memory"]},
+            ]},
+        ],
+        "steps": [
+            {"name": "execute", "do": "run-benchmark"},
+            {"name": "verify", "do": "verify-benchmark",
+             "depends": ["execute"]},
+        ],
+        "tables": [
+            {"name": "result", "columns": ["nodes", "fom_seconds"],
+             "sort_by": "nodes"},
+        ],
+    }, actions={"run-benchmark": fn, "verify-benchmark": fn2})
+
+``do`` entries name callables from the ``actions`` registry -- the
+stand-in for JUBE's shell snippets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from .parameters import ParameterError, ParameterSet
+from .platform import get_platform
+from .result import ResultTable, table
+from .runtime import BenchmarkSpec
+from .steps import Step, StepContext
+
+
+class SpecError(ValueError):
+    """Malformed declarative spec."""
+
+
+def _load_parameterset(data: Mapping[str, Any]) -> ParameterSet:
+    if "name" not in data:
+        raise SpecError("parameterset needs a 'name'")
+    pset = ParameterSet(name=str(data["name"]))
+    for p in data.get("parameters", ()):
+        if "name" not in p or "value" not in p:
+            raise SpecError(f"parameter entry {p!r} needs 'name' and 'value'")
+        try:
+            pset.add(p["name"], p["value"], mode=p.get("mode", "text"),
+                     tags=p.get("tags", ()))
+        except ParameterError as exc:
+            raise SpecError(str(exc))
+    return pset
+
+
+def _load_step(data: Mapping[str, Any],
+               actions: Mapping[str, Callable[[StepContext], Any]]) -> Step:
+    if "name" not in data:
+        raise SpecError("step needs a 'name'")
+    do = data.get("do", ())
+    names = [do] if isinstance(do, str) else list(do)
+    tasks = []
+    for action_name in names:
+        if action_name not in actions:
+            known = ", ".join(sorted(actions)) or "(none)"
+            raise SpecError(
+                f"step {data['name']!r} uses unknown action "
+                f"{action_name!r}; registered: {known}")
+        tasks.append(actions[action_name])
+    return Step(name=str(data["name"]), tasks=tasks,
+                depends=tuple(data.get("depends", ())),
+                iterations=int(data.get("iterations", 1)))
+
+
+def _load_table(data: Mapping[str, Any]) -> ResultTable:
+    if "name" not in data or "columns" not in data:
+        raise SpecError("table needs 'name' and 'columns'")
+    specs = []
+    for col in data["columns"]:
+        if isinstance(col, str):
+            specs.append(col)
+        else:
+            specs.append(tuple(col))
+    return table(str(data["name"]), *specs, sort_by=data.get("sort_by"))
+
+
+def load_spec(data: Mapping[str, Any],
+              actions: Mapping[str, Callable[[StepContext], Any]] | None = None
+              ) -> BenchmarkSpec:
+    """Build a :class:`BenchmarkSpec` from a declarative document."""
+    if "name" not in data:
+        raise SpecError("spec needs a benchmark 'name'")
+    actions = actions or {}
+    platform = None
+    if data.get("platform"):
+        try:
+            platform = get_platform(str(data["platform"]))
+        except KeyError as exc:
+            raise SpecError(str(exc))
+    spec = BenchmarkSpec(
+        name=str(data["name"]),
+        platform=platform,
+        parametersets=[_load_parameterset(p)
+                       for p in data.get("parametersets", ())],
+        steps=[_load_step(s, actions) for s in data.get("steps", ())],
+        tables=[_load_table(t) for t in data.get("tables", ())],
+    )
+    if not spec.steps:
+        raise SpecError("spec needs at least one step")
+    return spec

@@ -1,0 +1,110 @@
+"""JUBE-style steps: the execution DAG of a benchmark.
+
+A JUBE benchmark consists of *steps* (compile, execute, verify,
+analyse ...) with explicit dependencies; each step runs once per
+workunit and can read the outputs of the steps it depends on.  Tasks are
+Python callables here (the real JUBE runs shell snippets), receiving a
+:class:`StepContext` with the resolved parameters, prior outputs and the
+simulated machine handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from graphlib import CycleError, TopologicalSorter
+from typing import Any, Callable, Iterable
+
+
+class StepError(RuntimeError):
+    """A step failed or the step graph is malformed."""
+
+
+@dataclass
+class StepContext:
+    """Everything a task can see while it runs."""
+
+    #: resolved parameters of this workunit
+    params: dict[str, Any]
+    #: outputs of already-completed steps: ``ctx.results["execute"]["fom"]``
+    results: dict[str, dict[str, Any]]
+    #: active tags of the run
+    tags: frozenset[str] = frozenset()
+    #: arbitrary shared environment (machine handles, filesystems, ...)
+    env: dict[str, Any] = field(default_factory=dict)
+
+    def output(self, step: str, key: str, default: Any = None) -> Any:
+        """Convenience lookup into a prior step's outputs."""
+        return self.results.get(step, {}).get(key, default)
+
+
+#: A task consumes the context and returns a dict of outputs (or None).
+Task = Callable[[StepContext], "dict[str, Any] | None"]
+
+
+@dataclass
+class Step:
+    """One named step with dependencies and an ordered task list.
+
+    ``iterations`` repeats the tasks (JUBE uses this for statistical
+    repetitions); outputs of the last iteration win, and per-iteration
+    outputs are kept under ``iterations`` in the step result.
+    """
+
+    name: str
+    tasks: list[Task] = field(default_factory=list)
+    depends: tuple[str, ...] = ()
+    iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise StepError(f"step {self.name!r}: iterations must be >= 1")
+        self.depends = tuple(self.depends)
+
+    def run(self, ctx: StepContext) -> dict[str, Any]:
+        """Execute the step's tasks; merge their output dicts."""
+        history: list[dict[str, Any]] = []
+        outputs: dict[str, Any] = {}
+        for _ in range(self.iterations):
+            iter_out: dict[str, Any] = {}
+            for task in self.tasks:
+                try:
+                    out = task(ctx)
+                except StepError:
+                    raise
+                except Exception as exc:
+                    raise StepError(
+                        f"step {self.name!r} task failed: "
+                        f"{type(exc).__name__}: {exc}") from exc
+                if out:
+                    iter_out.update(out)
+                    # Make intra-step outputs visible to subsequent tasks.
+                    ctx.results.setdefault(self.name, {}).update(iter_out)
+            history.append(iter_out)
+            outputs = iter_out
+        if self.iterations > 1:
+            outputs = dict(outputs)
+            outputs["iterations"] = history
+        return outputs
+
+
+def step_order(steps: Iterable[Step]) -> list[Step]:
+    """Topological execution order of a step list.
+
+    Raises :class:`StepError` on unknown dependencies or cycles.
+    """
+    by_name: dict[str, Step] = {}
+    for s in steps:
+        if s.name in by_name:
+            raise StepError(f"duplicate step name {s.name!r}")
+        by_name[s.name] = s
+    for s in by_name.values():
+        for dep in s.depends:
+            if dep not in by_name:
+                raise StepError(
+                    f"step {s.name!r} depends on unknown step {dep!r}")
+    graph = {s.name: set(s.depends) for s in by_name.values()}
+    try:
+        order = list(TopologicalSorter(graph).static_order())
+    except CycleError as exc:
+        raise StepError(f"step dependency cycle: {exc.args[1]}")
+    return [by_name[name] for name in order]

@@ -1,0 +1,10 @@
+"""Shared base for the synthetic benchmarks."""
+
+from __future__ import annotations
+
+from ..apps.base import AppBenchmark
+
+
+class SyntheticBenchmark(AppBenchmark):
+    """Same plumbing as the application benchmarks; kept as a distinct
+    type so the suite can report categories faithfully."""

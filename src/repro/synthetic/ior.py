@@ -1,0 +1,124 @@
+"""IOR: the filesystem benchmark (IO500-style easy and hard variants).
+
+Sec. IV-B: "The Easy variant requires a transfer size of 16 MiB, with
+each process writing to its own file.  The Hard variant uses a transfer
+size of 4 KiB and a block size of 4 KiB, with all processes writing and
+reading a single file.  The setup forces multiple processes to write to
+the same file system data block, stressing the filesystem with the lock
+processes."
+
+Real mode moves actual bytes through the in-memory filesystem (write,
+read back, verify contents, count the measured lock conflicts); the
+bandwidth FOM comes from the storage model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.storage import (
+    IOR_EASY_TRANSFER,
+    IOR_HARD_TRANSFER,
+    SimFilesystem,
+    StorageModel,
+)
+from ..core.benchmark import BenchmarkResult
+from ..core.fom import FigureOfMerit, FomKind
+from ..core.variants import MemoryVariant
+from ..units import GIB
+from ..vmpi.machine import Machine
+from .base import SyntheticBenchmark
+
+#: the Hard variant's lower bound on the node count (Table II footnote)
+HARD_MIN_NODES = 64
+
+
+def ior_functional_run(nranks: int, variant: str,
+                       ops_per_rank: int = 8) -> dict[str, object]:
+    """Write + read-back through the sim filesystem; returns stats."""
+    if variant not in ("easy", "hard"):
+        raise ValueError("variant must be 'easy' or 'hard'")
+    fs = SimFilesystem()
+    transfer = int(IOR_EASY_TRANSFER if variant == "easy"
+                   else IOR_HARD_TRANSFER)
+    transfer = min(transfer, 64 * 1024)  # keep the functional run small
+    errors = 0
+    if variant == "easy":
+        for rank in range(nranks):
+            f = fs.open(f"rank{rank:05d}.dat")
+            for op in range(ops_per_rank):
+                payload = bytes([(rank + op) % 256]) * transfer
+                f.write_at(op * transfer, payload, writer=rank)
+            for op in range(ops_per_rank):
+                back = f.read_at(op * transfer, transfer)
+                if back != bytes([(rank + op) % 256]) * transfer:
+                    errors += 1
+        conflicts = sum(f.lock_conflicts for f in fs.files.values())
+    else:
+        f = fs.open("shared.dat")
+        # interleaved strided writes: rank r writes ops r, r+P, r+2P ...
+        for op in range(ops_per_rank):
+            for rank in range(nranks):
+                index = op * nranks + rank
+                payload = bytes([index % 256]) * transfer
+                f.write_at(index * transfer, payload, writer=rank)
+        total_ops = ops_per_rank * nranks
+        for index in range(total_ops):
+            if f.read_at(index * transfer, transfer) != \
+                    bytes([index % 256]) * transfer:
+                errors += 1
+        conflicts = f.lock_conflicts
+    return {"errors": errors, "lock_conflicts": conflicts,
+            "bytes": fs.total_bytes}
+
+
+class IorBenchmark(SyntheticBenchmark):
+    """Runnable IOR benchmark."""
+
+    NAME = "IOR"
+    fom = FigureOfMerit(name="aggregate write bandwidth",
+                        kind=FomKind.BANDWIDTH, work=float(GIB),
+                        unit="B/s")
+
+    def __init__(self, variant: str = "easy") -> None:
+        super().__init__()
+        if variant not in ("easy", "hard"):
+            raise ValueError("IOR variant must be 'easy' or 'hard'")
+        self.io_variant = variant
+
+    def _execute(self, nodes: int, *, variant: MemoryVariant | None,
+                 scale: float, real: bool) -> BenchmarkResult:
+        if self.io_variant == "hard" and nodes <= HARD_MIN_NODES and \
+                not real:
+            raise ValueError(
+                f"IOR hard requires more than {HARD_MIN_NODES} nodes")
+        machine = self.machine(min(nodes, 936))
+
+        def tiny(comm):
+            yield comm.barrier()
+
+        spmd = self.run_program(machine, tiny)
+        if real:
+            stats = ior_functional_run(nranks=max(2, int(8 * scale)),
+                                       variant=self.io_variant)
+            hard = self.io_variant == "hard"
+            ok = stats["errors"] == 0 and \
+                ((stats["lock_conflicts"] > 0) == hard)
+            return self.result(
+                nodes, spmd, fom_seconds=max(spmd.elapsed, 1e-6),
+                verified=ok,
+                verification=f"read-back exact; {stats['lock_conflicts']} "
+                             f"shared-block lock conflicts "
+                             f"({'expected' if hard else 'none expected'})",
+                **stats)
+        model = StorageModel()
+        total = 4 * GIB * nodes
+        transfer = IOR_EASY_TRANSFER if self.io_variant == "easy" \
+            else IOR_HARD_TRANSFER
+        write_bw = model.bandwidth(total, nodes, transfer, write=True,
+                                   shared_file=self.io_variant == "hard")
+        read_bw = model.bandwidth(total, nodes, transfer, write=False)
+        return self.result(
+            nodes, spmd, fom_seconds=self.fom.time_metric(write_bw),
+            io_variant=self.io_variant, write_bandwidth=write_bw,
+            read_bandwidth=read_bw, transfer_size=transfer)

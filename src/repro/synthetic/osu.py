@@ -1,0 +1,94 @@
+"""OSU micro-benchmarks: point-to-point latency and bandwidth.
+
+The message-size sweep between two ranks -- intra-node (NVLink) and
+inter-node (InfiniBand) -- that characterises the fabric's alpha-beta
+behaviour.  Real mode moves actual byte payloads and verifies content
+integrity; the reported numbers come from the virtual clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.benchmark import BenchmarkResult
+from ..core.fom import FigureOfMerit, FomKind
+from ..core.variants import MemoryVariant
+from ..units import GIB, MIB
+from ..vmpi import Machine, Phantom
+from .base import SyntheticBenchmark
+
+#: the classic sweep (powers of two, 8 B .. 16 MiB)
+MESSAGE_SIZES = tuple(8 << (2 * i) for i in range(12))
+PINGPONGS = 4
+
+
+def pingpong_program(comm, sizes: tuple[int, ...], repeats: int,
+                     real_payload: bool):
+    """Ping-pong between ranks 0 and 1; others idle at barriers.
+
+    Returns the list of (size, seconds per one-way message).
+    """
+    results = []
+    for size in sizes:
+        yield comm.barrier(label="sync")
+        if comm.rank == 0:
+            payload = (np.full(size // 8, 7.0) if real_payload
+                       else Phantom(float(size)))
+            err = 0.0
+            t_like = 0.0
+            for _ in range(repeats):
+                yield comm.send(1, payload, tag=1)
+                back = yield comm.recv(1, tag=2)
+                if real_payload and isinstance(back, np.ndarray):
+                    err = max(err, float(np.max(np.abs(back - 7.0))))
+            results.append((size, err))
+        elif comm.rank == 1:
+            for _ in range(repeats):
+                got = yield comm.recv(0, tag=1)
+                yield comm.send(0, got, tag=2)
+    yield comm.barrier(label="done")
+    return results
+
+
+class OsuBenchmark(SyntheticBenchmark):
+    """Runnable OSU micro-benchmark suite (latency + bandwidth)."""
+
+    NAME = "OSU"
+    fom = FigureOfMerit(name="large-message bandwidth",
+                        kind=FomKind.BANDWIDTH, work=float(GIB),
+                        unit="B/s")
+
+    def sweep(self, inter_node: bool,
+              sizes: tuple[int, ...] = MESSAGE_SIZES) -> list[tuple[int, float]]:
+        """(size, one-way seconds) using the virtual clock."""
+        machine = Machine.booster(2, ranks_per_node=1) if inter_node \
+            else Machine.on(self.system(), 2, ranks_per_node=2)
+        out = []
+        for size in sizes:
+            t = machine.p2p_seconds(0, 1, float(size))
+            out.append((size, t))
+        return out
+
+    def _execute(self, nodes: int, *, variant: MemoryVariant | None,
+                 scale: float, real: bool) -> BenchmarkResult:
+        inter = nodes >= 2
+        machine = Machine.booster(2, ranks_per_node=1) if inter \
+            else Machine.on(self.system(), 2, ranks_per_node=2)
+        sizes = MESSAGE_SIZES[:8] if real else MESSAGE_SIZES
+        spmd = self.run_program(machine, pingpong_program,
+                                args=(sizes, PINGPONGS, real))
+        sweep = self.sweep(inter_node=inter)
+        latency = sweep[0][1]
+        big = sweep[-1]
+        bandwidth = big[0] / big[1]
+        verified = None
+        verification = ""
+        if real:
+            errs = [e for (_s, e) in spmd.values[0]]
+            verified = max(errs) == 0.0
+            verification = f"payload integrity: max error {max(errs):.1e}"
+        return self.result(
+            nodes, spmd, fom_seconds=self.fom.time_metric(bandwidth),
+            verified=verified, verification=verification,
+            latency_seconds=latency, bandwidth=bandwidth,
+            inter_node=inter, sweep=sweep)

@@ -1,0 +1,103 @@
+"""STREAM: sustainable memory bandwidth (copy / scale / add / triad).
+
+The only benchmark in the suite that *measures the host running this
+reproduction* as well as modelling the target: real mode times the four
+kernels on NumPy arrays (and checks their results), model mode reports
+the A100 GPU variant from the device's bandwidth and the kernels' known
+bytes-per-element counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.benchmark import BenchmarkResult
+from ..core.fom import FigureOfMerit, FomKind
+from ..core.variants import MemoryVariant
+from ..vmpi.machine import Machine
+from .base import SyntheticBenchmark
+
+#: bytes moved per element: (reads + writes) * 8
+KERNEL_BYTES = {"copy": 16, "scale": 16, "add": 24, "triad": 24}
+
+
+@dataclass
+class StreamResult:
+    """Measured bandwidths [B/s] and verification flag per kernel."""
+
+    bandwidth: dict[str, float]
+    verified: bool
+
+    @property
+    def triad(self) -> float:
+        return self.bandwidth["triad"]
+
+
+def run_stream(n: int = 10_000_000, repeats: int = 3) -> StreamResult:
+    """Time the four kernels; best-of-``repeats`` (the STREAM rule)."""
+    if n < 1000:
+        raise ValueError("array too small to time meaningfully")
+    a = np.arange(n, dtype=float)
+    b = 2.0 * np.ones(n)
+    c = np.zeros(n)
+    scalar = 3.0
+    best: dict[str, float] = {}
+
+    def timed(label: str, fn) -> None:
+        dt = min(_time_once(fn) for _ in range(repeats))
+        best[label] = KERNEL_BYTES[label] * n / dt
+
+    timed("copy", lambda: np.copyto(c, a))
+    timed("scale", lambda: np.multiply(a, scalar, out=b))
+    timed("add", lambda: np.add(a, b, out=c))
+    timed("triad", lambda: np.add(a, scalar * b, out=c))
+    ok = bool(np.allclose(b, scalar * a) and
+              np.allclose(c, a + scalar * b))
+    return StreamResult(bandwidth=best, verified=ok)
+
+
+def _time_once(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return max(time.perf_counter() - t0, 1e-9)
+
+
+def gpu_stream_model(machine: Machine,
+                     efficiency: float = 0.87) -> dict[str, float]:
+    """Modelled per-GPU STREAM bandwidths (A100 triad sustains ~87 % of
+    the HBM peak)."""
+    bw = machine.system.node.device.mem_bandwidth * efficiency
+    return {k: bw for k in KERNEL_BYTES}
+
+
+class StreamBenchmark(SyntheticBenchmark):
+    """Runnable STREAM benchmark."""
+
+    NAME = "STREAM"
+    fom = FigureOfMerit(name="triad bandwidth", kind=FomKind.BANDWIDTH,
+                        work=1e12, unit="B/s")
+
+    def _execute(self, nodes: int, *, variant: MemoryVariant | None,
+                 scale: float, real: bool) -> BenchmarkResult:
+        machine = self.machine(nodes)
+
+        def tiny(comm):
+            yield comm.barrier()
+
+        spmd = self.run_program(machine, tiny)
+        if real:
+            res = run_stream(n=max(100_000, int(4_000_000 * scale)))
+            return self.result(
+                nodes, spmd,
+                fom_seconds=self.fom.time_metric(res.triad),
+                verified=res.verified,
+                verification="kernel results exact" if res.verified
+                else "kernel results WRONG",
+                host_bandwidth=res.bandwidth)
+        model = gpu_stream_model(machine)
+        return self.result(nodes, spmd,
+                           fom_seconds=self.fom.time_metric(model["triad"]),
+                           gpu_bandwidth=model)

@@ -1,0 +1,98 @@
+"""Unit helpers for the JUPITER benchmark-suite reproduction.
+
+The paper mixes SI prefixes (FLOP/s, GB/s of network links) and binary
+prefixes (GiB/TiB of state-vector memory).  Getting these right matters:
+JUQCS' memory law ``16 B * 2**n`` only reproduces the paper's numbers
+(n=36 -> 1 TiB, n=45 -> 0.5 PiB) with binary prefixes, while HPL's
+1 EFLOP/s target is decimal.
+
+Everything in this module is a plain ``float`` helper -- no unit objects --
+so that hot loops in the simulator stay cheap.
+"""
+
+from __future__ import annotations
+
+# --- decimal (SI) prefixes -------------------------------------------------
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+PETA = 1e15
+EXA = 1e18
+
+# --- binary prefixes -------------------------------------------------------
+KIB = 1024.0
+MIB = 1024.0**2
+GIB = 1024.0**3
+TIB = 1024.0**4
+PIB = 1024.0**5
+
+#: Bytes per double-precision complex number (JUQCS state-vector element).
+BYTES_PER_COMPLEX128 = 16
+#: Bytes per double-precision real number.
+BYTES_PER_FLOAT64 = 8
+
+_SI_STEPS = [(EXA, "E"), (PETA, "P"), (TERA, "T"), (GIGA, "G"), (MEGA, "M"), (KILO, "k")]
+_BIN_STEPS = [(PIB, "Pi"), (TIB, "Ti"), (GIB, "Gi"), (MIB, "Mi"), (KIB, "Ki")]
+
+
+def fmt_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``fmt_si(5e13, 'FLOP/s')``."""
+    for step, prefix in _SI_STEPS:
+        if abs(value) >= step:
+            return f"{value / step:.{digits}g} {prefix}{unit}"
+    return f"{value:.{digits}g} {unit}"
+
+
+def fmt_bytes(nbytes: float, digits: int = 3) -> str:
+    """Format a byte count with binary prefixes, e.g. ``'64 TiB'``."""
+    for step, prefix in _BIN_STEPS:
+        if abs(nbytes) >= step:
+            return f"{nbytes / step:.{digits}g} {prefix}B"
+    return f"{nbytes:.{digits}g} B"
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Human-readable duration (``'1.2 ms'``, ``'498 s'``, ``'2.1 h'``)."""
+    if seconds < 0:
+        return "-" + fmt_seconds(-seconds)
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.3g} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g} ms"
+    if seconds < 600.0:
+        return f"{seconds:.3g} s"
+    if seconds < 3 * 3600.0:
+        return f"{seconds / 60.0:.3g} min"
+    return f"{seconds / 3600.0:.3g} h"
+
+
+def parse_bytes(text: str) -> float:
+    """Parse ``'16 MiB'`` / ``'4KB'`` / ``'512'`` into a byte count.
+
+    Accepts both binary (``KiB``/``MiB``/...) and decimal (``KB``/``MB``/...)
+    suffixes, case-insensitively, with or without a space.
+    """
+    s = text.strip()
+    suffixes = {
+        "kib": KIB, "mib": MIB, "gib": GIB, "tib": TIB, "pib": PIB,
+        "kb": KILO, "mb": MEGA, "gb": GIGA, "tb": TERA, "pb": PETA,
+        "b": 1.0, "": 1.0,
+    }
+    num_end = len(s)
+    for i, ch in enumerate(s):
+        if not (ch.isdigit() or ch in ".+-eE"):
+            # Guard against scientific notation like 1e6 -- only stop at a
+            # letter that cannot continue a float literal.
+            if ch.isalpha() and not (ch in "eE" and i + 1 < len(s) and (s[i + 1].isdigit() or s[i + 1] in "+-")):
+                num_end = i
+                break
+    num = float(s[:num_end])
+    suffix = s[num_end:].strip().lower()
+    if suffix not in suffixes:
+        raise ValueError(f"unknown byte suffix {suffix!r} in {text!r}")
+    return num * suffixes[suffix]

@@ -1,0 +1,77 @@
+"""Virtual MPI: deterministic in-process SPMD execution with virtual time.
+
+The substrate that lets the suite's distributed applications run on a
+laptop: rank programs are generators, payloads are really moved (small
+scale, for verification) or size-only phantoms (large scale, for
+timing), and every operation advances a virtual clock from the machine
+model in :mod:`repro.cluster`.
+"""
+
+from .comm import Comm
+from .decomposition import (
+    CartGrid,
+    block_partition,
+    dims_create,
+    ghost_faces,
+    halo_exchange,
+    phantom_faces,
+)
+from .engine import (
+    CollectiveMismatchError,
+    DeadlockError,
+    Engine,
+    RankFailedError,
+    VmpiError,
+    run_spmd,
+)
+from .machine import Machine
+from .ops import (
+    Collective,
+    Compute,
+    Elapse,
+    Irecv,
+    Isend,
+    Op,
+    Phantom,
+    Recv,
+    Request,
+    Send,
+    Sendrecv,
+    Wait,
+    Waitall,
+    nbytes_of,
+)
+from .trace import RankTrace, SpmdResult
+
+__all__ = [
+    "CartGrid",
+    "Collective",
+    "CollectiveMismatchError",
+    "Comm",
+    "Compute",
+    "DeadlockError",
+    "Elapse",
+    "Engine",
+    "Irecv",
+    "Isend",
+    "Machine",
+    "Op",
+    "Phantom",
+    "RankFailedError",
+    "RankTrace",
+    "Recv",
+    "Request",
+    "Send",
+    "Sendrecv",
+    "SpmdResult",
+    "VmpiError",
+    "Wait",
+    "Waitall",
+    "block_partition",
+    "dims_create",
+    "ghost_faces",
+    "halo_exchange",
+    "nbytes_of",
+    "phantom_faces",
+    "run_spmd",
+]

@@ -1,0 +1,182 @@
+"""Communicator facade for SPMD rank programs.
+
+A rank program is a generator function ``def main(comm: Comm, ...)`` that
+yields operation descriptors and is resumed with their results::
+
+    def main(comm):
+        local = np.arange(4) * comm.rank
+        total = yield comm.allreduce(local)        # real data is reduced
+        yield comm.compute(flops=1e9)              # virtual time advances
+        if comm.rank == 0:
+            yield comm.send(1, total)
+        elif comm.rank == 1:
+            total = yield comm.recv(0)
+        return float(total.sum())
+
+The methods here only *construct* ops (mirroring mpi4py's API surface);
+the engine in :mod:`repro.vmpi.engine` interprets them.  Helper
+*generators* that themselves communicate (e.g. ring shifts) must be
+delegated to with ``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .ops import (
+    Collective,
+    Compute,
+    Elapse,
+    Irecv,
+    Isend,
+    Recv,
+    Request,
+    Send,
+    Sendrecv,
+    Wait,
+    Waitall,
+)
+
+
+class Comm:
+    """A communicator: a set of global ranks with local numbering.
+
+    Instances are created by the engine (``COMM_WORLD``) or by
+    :meth:`split`; rank code never constructs one directly.
+    """
+
+    def __init__(self, comm_id: int, rank: int, members: tuple[int, ...]):
+        self.comm_id = comm_id
+        #: local rank within this communicator
+        self.rank = rank
+        #: global engine ranks of the members, indexed by local rank
+        self.members = members
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self.members)
+
+    def __repr__(self) -> str:
+        return f"Comm(id={self.comm_id}, rank={self.rank}/{self.size})"
+
+    # -- local work ---------------------------------------------------------
+
+    def compute(self, flops: float = 0.0, bytes_moved: float = 0.0,
+                efficiency: float = 0.25, label: str = "compute") -> Compute:
+        """Charge roofline compute time on this rank's device."""
+        return Compute(flops=flops, bytes_moved=bytes_moved,
+                       efficiency=efficiency, label=label)
+
+    def elapse(self, seconds: float, label: str = "elapse") -> Elapse:
+        """Charge a fixed wall-clock duration (I/O, setup, ...)."""
+        return Elapse(seconds=seconds, label=label)
+
+    # -- point-to-point -------------------------------------------------------
+
+    def send(self, dest: int, payload: Any, tag: int = 0) -> Send:
+        """Blocking send to local rank ``dest``."""
+        self._check_peer(dest)
+        return Send(dest=dest, payload=payload, tag=tag, comm_id=self.comm_id)
+
+    def recv(self, source: int, tag: int = 0) -> Recv:
+        """Blocking receive from local rank ``source``."""
+        self._check_peer(source)
+        return Recv(source=source, tag=tag, comm_id=self.comm_id)
+
+    def isend(self, dest: int, payload: Any, tag: int = 0) -> Isend:
+        """Non-blocking send; yield it to obtain a :class:`Request`."""
+        self._check_peer(dest)
+        return Isend(dest=dest, payload=payload, tag=tag, comm_id=self.comm_id)
+
+    def irecv(self, source: int, tag: int = 0) -> Irecv:
+        """Non-blocking receive; yield it to obtain a :class:`Request`."""
+        self._check_peer(source)
+        return Irecv(source=source, tag=tag, comm_id=self.comm_id)
+
+    def wait(self, request: Request) -> Wait:
+        """Block until a request completes; receives resume with data."""
+        return Wait(request=request)
+
+    def waitall(self, requests: Iterable[Request]) -> Waitall:
+        """Block until all requests complete; resumes with result list."""
+        return Waitall(requests=tuple(requests))
+
+    def sendrecv(self, dest: int, payload: Any, source: int,
+                 tag: int = 0) -> Sendrecv:
+        """Simultaneous send-to-``dest`` / receive-from-``source``."""
+        self._check_peer(dest)
+        self._check_peer(source)
+        return Sendrecv(dest=dest, payload=payload, source=source, tag=tag,
+                        comm_id=self.comm_id)
+
+    # -- collectives -----------------------------------------------------------
+
+    def allreduce(self, payload: Any, op: str = "sum",
+                  label: str = "allreduce") -> Collective:
+        """Element-wise reduction, result on every rank."""
+        return Collective(kind="allreduce", payload=payload, reduce_op=op,
+                          comm_id=self.comm_id, label=label)
+
+    def allgather(self, payload: Any, label: str = "allgather") -> Collective:
+        """Gather each rank's payload; every rank gets the full list."""
+        return Collective(kind="allgather", payload=payload,
+                          comm_id=self.comm_id, label=label)
+
+    def alltoall(self, payloads: Iterable[Any], label: str = "alltoall") -> Collective:
+        """Personalised exchange: ``payloads[j]`` goes to local rank ``j``;
+        resumes with the list received from every rank."""
+        items = tuple(payloads)
+        if len(items) != self.size:
+            raise ValueError(
+                f"alltoall needs exactly {self.size} payloads, got {len(items)}")
+        return Collective(kind="alltoall", payload=items, comm_id=self.comm_id,
+                          label=label)
+
+    def bcast(self, payload: Any, root: int = 0, label: str = "bcast") -> Collective:
+        """Broadcast the root's payload; non-roots pass anything (ignored)."""
+        self._check_peer(root)
+        return Collective(kind="bcast", payload=payload, root=root,
+                          comm_id=self.comm_id, label=label)
+
+    def reduce(self, payload: Any, op: str = "sum", root: int = 0,
+               label: str = "reduce") -> Collective:
+        """Reduction to ``root``; other ranks resume with ``None``."""
+        self._check_peer(root)
+        return Collective(kind="reduce", payload=payload, reduce_op=op,
+                          root=root, comm_id=self.comm_id, label=label)
+
+    def gather(self, payload: Any, root: int = 0, label: str = "gather") -> Collective:
+        """Gather to ``root`` (list of payloads); others get ``None``."""
+        self._check_peer(root)
+        return Collective(kind="gather", payload=payload, root=root,
+                          comm_id=self.comm_id, label=label)
+
+    def scatter(self, payloads: Iterable[Any] | None, root: int = 0,
+                label: str = "scatter") -> Collective:
+        """Scatter the root's list; every rank resumes with its item."""
+        self._check_peer(root)
+        items = None if payloads is None else tuple(payloads)
+        if items is not None and len(items) != self.size:
+            raise ValueError(
+                f"scatter needs exactly {self.size} payloads, got {len(items)}")
+        return Collective(kind="scatter", payload=items, root=root,
+                          comm_id=self.comm_id, label=label)
+
+    def barrier(self, label: str = "barrier") -> Collective:
+        """Synchronise all ranks of the communicator."""
+        return Collective(kind="barrier", comm_id=self.comm_id, label=label)
+
+    def split(self, color: int, key: int | None = None) -> Collective:
+        """Partition the communicator by ``color``; resumes with the new
+        :class:`Comm` (ranks ordered by ``key``, default current rank)."""
+        k = self.rank if key is None else key
+        return Collective(kind="split", payload=(int(color), int(k)),
+                          comm_id=self.comm_id, label="split")
+
+    # -- internals ----------------------------------------------------------------
+
+    def _check_peer(self, local_rank: int) -> None:
+        if not 0 <= local_rank < self.size:
+            raise ValueError(
+                f"rank {local_rank} outside communicator of size {self.size}")

@@ -1,0 +1,484 @@
+"""Deterministic virtual-MPI execution engine.
+
+Rank programs (generators yielding :mod:`~repro.vmpi.ops` descriptors)
+are co-scheduled in-process.  Real payloads are actually moved and
+reduced -- so distributed algorithms can be validated -- while every
+operation advances a per-rank *virtual clock* using the machine model,
+so the same program produces large-machine timing from a laptop.
+
+Semantics (documented divergences from real MPI):
+
+* Point-to-point uses rendezvous timing: a transfer starts when both
+  sides have posted and costs ``alpha + n/beta`` from the network model.
+  Nonblocking ops (``Isend``/``Irecv`` + ``Wait``) therefore model
+  compute/communication overlap exactly the way the applications exploit
+  it (Arbor hides its spike exchange behind integration, Sec. IV-A2a).
+* Collectives are synchronising: completion is ``max(post times) +
+  model cost``; all ranks leave with the same clock.
+* Scheduling is deterministic (FIFO ready queue, rank-ordered
+  completion), so runs are exactly reproducible -- a suite requirement
+  (replicability, Sec. II-A).
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..cluster.hardware import juwels_booster
+from .comm import Comm
+from .machine import Machine
+from .ops import (
+    Collective,
+    Compute,
+    Elapse,
+    Irecv,
+    Isend,
+    Op,
+    Phantom,
+    Recv,
+    Request,
+    Send,
+    Sendrecv,
+    Wait,
+    Waitall,
+    nbytes_of,
+)
+from .trace import RankTrace, SpmdResult
+
+
+class VmpiError(RuntimeError):
+    """Base class for engine errors."""
+
+
+class DeadlockError(VmpiError):
+    """All unfinished ranks are blocked and nothing can complete."""
+
+
+class CollectiveMismatchError(VmpiError):
+    """Ranks of one communicator posted different collectives."""
+
+
+class RankFailedError(VmpiError):
+    """A rank program raised; carries the originating rank."""
+
+    def __init__(self, rank: int, original: BaseException):
+        super().__init__(f"rank {rank} failed: {type(original).__name__}: {original}")
+        self.rank = rank
+        self.original = original
+
+
+@dataclass
+class _WaitGroup:
+    """A rank blocked until a set of requests completes."""
+
+    rank: int
+    requests: tuple[Request, ...]
+    blocked_at: float
+    single: bool  # resume with one result instead of a list
+    sendrecv: bool = False  # resume with the received payload only
+
+
+def _reduce_payloads(payloads: list[Any], op: str) -> Any:
+    """Element-wise reduction across rank payloads (phantom-aware)."""
+    if any(isinstance(p, Phantom) for p in payloads):
+        return Phantom(max(nbytes_of(p) for p in payloads))
+    funcs = {"sum": np.add, "max": np.maximum, "min": np.minimum,
+             "prod": np.multiply}
+    if op not in funcs:
+        raise VmpiError(f"unknown reduction op {op!r}")
+    fn = funcs[op]
+    acc = np.array(payloads[0]) if isinstance(payloads[0], np.ndarray) \
+        else payloads[0]
+    for p in payloads[1:]:
+        acc = fn(acc, p)
+    return acc
+
+
+class Engine:
+    """Runs one SPMD program over a :class:`~repro.vmpi.machine.Machine`.
+
+    ``eager_limit`` mirrors MPI's eager protocol: sends at or below this
+    size complete locally without waiting for the matching receive
+    (buffered), while larger messages rendezvous.  Without this, common
+    patterns that are legal in practice (small out-of-order tagged sends,
+    self-messages) would deadlock.
+    """
+
+    EAGER_LIMIT = 64 * 1024  # bytes
+
+    def __init__(self, machine: Machine, eager_limit: int | None = None):
+        self.machine = machine
+        self.eager_limit = self.EAGER_LIMIT if eager_limit is None else eager_limit
+        n = machine.nranks
+        self.clocks = [0.0] * n
+        self.traces = [RankTrace() for _ in range(n)]
+        self._gens: list[Iterator[Op]] = []
+        self._resume: list[Any] = [None] * n
+        self._finished = [False] * n
+        self._values: list[Any] = [None] * n
+        self._blocked: dict[int, Any] = {}       # rank -> description
+        self._ready: deque[int] = deque()
+        self._sends: dict[tuple, deque[Request]] = defaultdict(deque)
+        self._recvs: dict[tuple, deque[Request]] = defaultdict(deque)
+        self._wait_groups: dict[Request, _WaitGroup] = {}
+        self._comms: dict[int, tuple[int, ...]] = {0: tuple(range(n))}
+        self._next_comm_id = 1
+        self._coll_seq: dict[tuple[int, int], int] = defaultdict(int)
+        self._coll_pending: dict[tuple[int, int], dict[int, tuple[Collective, float]]] = {}
+        self._rid = 0
+
+    # -- public --------------------------------------------------------------
+
+    def run(self, fn: Callable[..., Iterator[Op]], *,
+            args: tuple = (), kwargs: dict | None = None,
+            rank_kwargs: list[dict] | None = None) -> SpmdResult:
+        """Execute ``fn(comm, *args, **kwargs)`` on every rank.
+
+        ``rank_kwargs`` optionally supplies per-rank keyword overrides.
+        Returns the per-rank return values, final clocks and traces.
+        """
+        n = self.machine.nranks
+        kwargs = kwargs or {}
+        for r in range(n):
+            kw = dict(kwargs)
+            if rank_kwargs is not None:
+                kw.update(rank_kwargs[r])
+            comm = Comm(comm_id=0, rank=r, members=self._comms[0])
+            gen = fn(comm, *args, **kw)
+            if not inspect.isgenerator(gen):
+                raise TypeError(
+                    f"rank program {fn.__name__!r} must be a generator function")
+            self._gens.append(gen)
+            self._ready.append(r)
+        while self._ready:
+            self._step_rank(self._ready.popleft())
+        if not all(self._finished):
+            stuck = {r: self._blocked.get(r, "unknown") for r in range(n)
+                     if not self._finished[r]}
+            detail = "; ".join(f"rank {r}: {d}" for r, d in stuck.items())
+            raise DeadlockError(f"deadlock -- blocked ranks: {detail}")
+        return SpmdResult(values=self._values, clocks=self.clocks,
+                          traces=self.traces)
+
+    # -- rank stepping ----------------------------------------------------------
+
+    def _step_rank(self, r: int) -> None:
+        """Drive rank ``r`` until it blocks or returns."""
+        if self._finished[r]:
+            return
+        gen = self._gens[r]
+        while True:
+            value, self._resume[r] = self._resume[r], None
+            try:
+                op = gen.send(value)
+            except StopIteration as stop:
+                self._finished[r] = True
+                self._values[r] = stop.value
+                return
+            except VmpiError:
+                raise
+            except BaseException as exc:
+                raise RankFailedError(r, exc) from exc
+            if not self._dispatch(r, op):
+                return  # blocked; resumes later via _unblock
+
+    def _dispatch(self, r: int, op: Op) -> bool:
+        """Process one op; True if the rank may continue immediately."""
+        self.traces[r].ops += 1
+        kind = type(op)
+        if kind is Compute:
+            dt = self.machine.compute_seconds(r, op.flops, op.bytes_moved,
+                                              op.efficiency)
+            self.clocks[r] += dt
+            self.traces[r].compute[op.label] += dt
+            return True
+        if kind is Elapse:
+            self.clocks[r] += op.seconds
+            self.traces[r].compute[op.label] += op.seconds
+            return True
+        if kind is Isend:
+            self._resume[r] = self._post_send(r, op.dest, op.payload, op.tag,
+                                              op.comm_id)
+            return True
+        if kind is Irecv:
+            self._resume[r] = self._post_recv(r, op.source, op.tag, op.comm_id)
+            return True
+        if kind is Send:
+            req = self._post_send(r, op.dest, op.payload, op.tag, op.comm_id)
+            return self._wait_on(r, (req,), single=True)
+        if kind is Recv:
+            req = self._post_recv(r, op.source, op.tag, op.comm_id)
+            return self._wait_on(r, (req,), single=True)
+        if kind is Sendrecv:
+            sreq = self._post_send(r, op.dest, op.payload, op.tag, op.comm_id)
+            rreq = self._post_recv(r, op.source, op.tag, op.comm_id)
+            return self._wait_on(r, (sreq, rreq), single=False, sendrecv=True)
+        if kind is Wait:
+            return self._wait_on(r, (op.request,), single=True)
+        if kind is Waitall:
+            return self._wait_on(r, op.requests, single=False)
+        if kind is Collective:
+            return self._post_collective(r, op)
+        raise VmpiError(f"rank {r} yielded a non-op: {op!r}")
+
+    # -- point-to-point --------------------------------------------------------
+
+    def _global(self, comm_id: int, local: int) -> int:
+        members = self._comms.get(comm_id)
+        if members is None:
+            raise VmpiError(f"unknown communicator id {comm_id}")
+        return members[local]
+
+    def _local(self, comm_id: int, global_rank: int) -> int:
+        return self._comms[comm_id].index(global_rank)
+
+    def _post_send(self, r: int, dest_local: int, payload: Any, tag: int,
+                   comm_id: int) -> Request:
+        dest = self._global(comm_id, dest_local)
+        self._rid += 1
+        req = Request(rank=r, is_send=True, peer=dest, tag=tag,
+                      comm_id=comm_id, post_time=self.clocks[r],
+                      payload=payload, rid=self._rid)
+        if nbytes_of(payload) <= self.eager_limit:
+            # Eager protocol: the send buffers locally and completes after
+            # the injection overhead, independent of the receiver.
+            req.done = True
+            req.complete_time = req.post_time + \
+                self.machine.p2p_seconds(r, dest, nbytes_of(payload))
+        key = (comm_id, r, dest, tag)
+        match_q = self._recvs.get(key)
+        if match_q:
+            self._complete_transfer(req, match_q.popleft())
+        else:
+            self._sends[key].append(req)
+        return req
+
+    def _post_recv(self, r: int, source_local: int, tag: int,
+                   comm_id: int) -> Request:
+        source = self._global(comm_id, source_local)
+        self._rid += 1
+        req = Request(rank=r, is_send=False, peer=source, tag=tag,
+                      comm_id=comm_id, post_time=self.clocks[r], rid=self._rid)
+        key = (comm_id, source, r, tag)
+        match_q = self._sends.get(key)
+        if match_q:
+            self._complete_transfer(match_q.popleft(), req)
+        else:
+            self._recvs[key].append(req)
+        return req
+
+    def _complete_transfer(self, send: Request, recv: Request) -> None:
+        nbytes = nbytes_of(send.payload)
+        dt = self.machine.p2p_seconds(send.rank, recv.rank, nbytes)
+        done = max(send.post_time, recv.post_time) + dt
+        if not send.done:  # eager sends already completed locally
+            send.done = True
+            send.complete_time = done
+        recv.done = True
+        recv.complete_time = done
+        recv.result = send.payload
+        self.traces[send.rank].bytes_sent += nbytes
+        for req in (send, recv):
+            group = self._wait_groups.get(req)
+            if group is not None:
+                self._check_group(group)
+
+    # -- waiting ------------------------------------------------------------------
+
+    def _wait_on(self, r: int, requests: tuple[Request, ...], *,
+                 single: bool, sendrecv: bool = False) -> bool:
+        for req in requests:
+            if req.rank != r:
+                raise VmpiError(
+                    f"rank {r} waiting on request posted by rank {req.rank}")
+        group = _WaitGroup(rank=r, requests=requests,
+                           blocked_at=self.clocks[r],
+                           single=single and not sendrecv,
+                           sendrecv=sendrecv)
+        if all(req.done for req in requests):
+            self._finish_group(group)
+            return True
+        for req in requests:
+            if not req.done:
+                self._wait_groups[req] = group
+        self._blocked[r] = f"waiting on {len(requests)} request(s)"
+        return False
+
+    def _check_group(self, group: _WaitGroup) -> None:
+        if all(req.done for req in group.requests):
+            for req in group.requests:
+                self._wait_groups.pop(req, None)
+            self._finish_group(group)
+            self._blocked.pop(group.rank, None)
+            self._ready.append(group.rank)
+
+    def _finish_group(self, group: _WaitGroup) -> None:
+        r = group.rank
+        done = max(req.complete_time for req in group.requests)
+        waited = max(0.0, done - self.clocks[r])
+        self.clocks[r] = max(self.clocks[r], done)
+        self.traces[r].comm["p2p"] += waited
+        if group.sendrecv:
+            recv = next(req for req in group.requests if not req.is_send)
+            self._resume[r] = recv.result
+        elif group.single:
+            req = group.requests[0]
+            self._resume[r] = req.result if not req.is_send else None
+        else:
+            self._resume[r] = [req.result if not req.is_send else None
+                               for req in group.requests]
+
+    # -- collectives ---------------------------------------------------------------
+
+    def _post_collective(self, r: int, op: Collective) -> bool:
+        members = self._comms.get(op.comm_id)
+        if members is None:
+            raise VmpiError(f"unknown communicator id {op.comm_id}")
+        if r not in members:
+            raise VmpiError(f"rank {r} is not a member of comm {op.comm_id}")
+        seq = self._coll_seq[(op.comm_id, r)]
+        self._coll_seq[(op.comm_id, r)] = seq + 1
+        key = (op.comm_id, seq)
+        pending = self._coll_pending.setdefault(key, {})
+        local = members.index(r)
+        pending[local] = (op, self.clocks[r])
+        if len(pending) < len(members):
+            self._blocked[r] = f"collective {op.kind!r} on comm {op.comm_id}"
+            return False
+        del self._coll_pending[key]
+        self._finish_collective(members, pending, caller=r)
+        return True
+
+    def _finish_collective(self, members: tuple[int, ...],
+                           pending: dict[int, tuple[Collective, float]],
+                           caller: int) -> None:
+        ops = [pending[i][0] for i in range(len(members))]
+        posts = [pending[i][1] for i in range(len(members))]
+        first = ops[0]
+        for o in ops[1:]:
+            if (o.kind, o.reduce_op, o.root) != (first.kind, first.reduce_op,
+                                                 first.root):
+                raise CollectiveMismatchError(
+                    f"comm members posted {first.kind!r} vs {o.kind!r}")
+        results = self._collective_results(members, ops)
+        cost = self._collective_cost(members, ops)
+        done = max(posts) + cost
+        label = first.label or first.kind
+        for i, g in enumerate(members):
+            waited = max(0.0, done - self.clocks[g])
+            self.clocks[g] = done
+            self.traces[g].comm[label] += waited
+            self.traces[g].bytes_sent += nbytes_of(ops[i].payload)
+            self._resume[g] = results[i]
+            if g != caller:
+                self._blocked.pop(g, None)
+                self._ready.append(g)
+
+    def _collective_cost(self, members: tuple[int, ...],
+                         ops: list[Collective]) -> float:
+        net = self.machine.network
+        node_set = self.machine.node_set(members)
+        p = len(members)
+        kind = ops[0].kind
+        sizes = [nbytes_of(o.payload) for o in ops]
+        biggest = max(sizes) if sizes else 0.0
+        if kind == "allreduce":
+            return net.allreduce_time(node_set, p, biggest)
+        if kind == "allgather":
+            return net.allgather_time(node_set, p, biggest)
+        if kind == "alltoall":
+            per_pair = biggest / p if p else 0.0
+            return net.alltoall_time(node_set, p, per_pair)
+        if kind == "bcast":
+            root_size = sizes[ops[0].root]
+            return net.bcast_time(node_set, p, root_size)
+        if kind == "reduce":
+            return net.bcast_time(node_set, p, biggest)
+        if kind in ("gather", "scatter"):
+            return net.allgather_time(node_set, p, biggest / max(p, 1)
+                                      if kind == "scatter" else biggest)
+        if kind in ("barrier", "split"):
+            return net.barrier_time(node_set, p)
+        raise VmpiError(f"no cost model for collective {kind!r}")
+
+    def _collective_results(self, members: tuple[int, ...],
+                            ops: list[Collective]) -> list[Any]:
+        kind = ops[0].kind
+        p = len(members)
+        payloads = [o.payload for o in ops]
+        if kind == "barrier":
+            return [None] * p
+        if kind == "allreduce":
+            red = _reduce_payloads(payloads, ops[0].reduce_op)
+            return [red] * p
+        if kind == "reduce":
+            red = _reduce_payloads(payloads, ops[0].reduce_op)
+            return [red if i == ops[0].root else None for i in range(p)]
+        if kind == "allgather":
+            return [list(payloads)] * p
+        if kind == "gather":
+            return [list(payloads) if i == ops[0].root else None
+                    for i in range(p)]
+        if kind == "bcast":
+            return [payloads[ops[0].root]] * p
+        if kind == "scatter":
+            items = payloads[ops[0].root]
+            if items is None or len(items) != p:
+                raise VmpiError("scatter root must supply one payload per rank")
+            return list(items)
+        if kind == "alltoall":
+            for pl in payloads:
+                if not isinstance(pl, tuple) or len(pl) != p:
+                    raise VmpiError("alltoall payloads must be size-P tuples")
+            return [[payloads[i][j] for i in range(p)] for j in range(p)]
+        if kind == "split":
+            return self._do_split(members, payloads)
+        raise VmpiError(f"no result rule for collective {kind!r}")
+
+    def _do_split(self, members: tuple[int, ...],
+                  payloads: list[Any]) -> list[Any]:
+        groups: dict[int, list[tuple[int, int, int]]] = defaultdict(list)
+        for local, (color, key) in enumerate(payloads):
+            groups[color].append((key, members[local], local))
+        results: list[Any] = [None] * len(members)
+        for color in sorted(groups):
+            ordered = sorted(groups[color])
+            new_members = tuple(g for _, g, _ in ordered)
+            cid = self._next_comm_id
+            self._next_comm_id += 1
+            self._comms[cid] = new_members
+            for new_local, (_, _g, old_local) in enumerate(ordered):
+                results[old_local] = Comm(comm_id=cid, rank=new_local,
+                                          members=new_members)
+        return results
+
+
+def run_spmd(fn: Callable[..., Iterator[Op]], *,
+             machine: Machine | None = None,
+             nranks: int | None = None,
+             nodes: int | None = None,
+             args: tuple = (),
+             kwargs: dict | None = None,
+             rank_kwargs: list[dict] | None = None) -> SpmdResult:
+    """Convenience entry point: run ``fn`` as an SPMD program.
+
+    Provide either an explicit ``machine``, a ``nodes`` count (JUWELS
+    Booster placement, 4 ranks/node), or a bare ``nranks`` (packed onto
+    Booster nodes).
+    """
+    if machine is None:
+        if nodes is not None:
+            machine = Machine.booster(nodes)
+        elif nranks is not None:
+            machine = Machine.on(juwels_booster(), nranks)
+        else:
+            raise ValueError("need machine=, nodes= or nranks=")
+    if nranks is not None and machine.nranks != nranks:
+        raise ValueError(f"machine has {machine.nranks} ranks, expected {nranks}")
+    return Engine(machine).run(fn, args=args, kwargs=kwargs,
+                               rank_kwargs=rank_kwargs)

@@ -1,0 +1,143 @@
+"""Rank placement onto the simulated machine.
+
+A :class:`Machine` binds a job (a set of ranks) to nodes and devices of a
+:class:`~repro.cluster.hardware.SystemSpec` and exposes the two timing
+queries the engine needs: compute time on a rank's device and the network
+model for transfers between ranks.
+
+The default placement is block placement -- ``ranks_per_node`` consecutive
+ranks per node, one rank per GPU, matching how the suite pins one MPI
+task per A100/HDR200 pair on JUWELS Booster.  :meth:`Machine.msa` builds
+the heterogeneous Cluster+Booster placement used by the JUQCS MSA
+benchmark (Sec. IV-A2c): the two modules appear as disjoint cell ranges
+of one virtual system, so cross-module traffic is classified inter-cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..cluster.hardware import (
+    DeviceSpec,
+    SystemSpec,
+    juwels_booster,
+    juwels_cluster,
+)
+from ..cluster.network import NetworkModel
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A job's view of the simulated system."""
+
+    system: SystemSpec
+    network: NetworkModel
+    nranks: int
+    ranks_per_node: int
+    #: device spec per rank (tuple of length ``nranks``)
+    devices: tuple[DeviceSpec, ...]
+    #: node index per rank (tuple of length ``nranks``)
+    nodes_of_rank: tuple[int, ...]
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def on(cls, system: SystemSpec, nranks: int,
+           ranks_per_node: int | None = None) -> "Machine":
+        """Block placement of ``nranks`` ranks on ``system``.
+
+        One rank per device by default.  The job may not exceed the
+        system's node count.
+        """
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        rpn = system.node.devices_per_node if ranks_per_node is None else ranks_per_node
+        if rpn < 1:
+            raise ValueError("ranks_per_node must be positive")
+        job_nodes = -(-nranks // rpn)
+        if job_nodes > system.nodes:
+            raise ValueError(
+                f"{nranks} ranks at {rpn}/node need {job_nodes} nodes; "
+                f"{system.name} has {system.nodes}")
+        nodes = tuple(r // rpn for r in range(nranks))
+        devices = tuple(system.node.device for _ in range(nranks))
+        return cls(system=system, network=NetworkModel(system=system),
+                   nranks=nranks, ranks_per_node=rpn, devices=devices,
+                   nodes_of_rank=nodes)
+
+    @classmethod
+    def booster(cls, nodes: int, ranks_per_node: int = 4) -> "Machine":
+        """A JUWELS Booster job of ``nodes`` nodes (4 ranks/node default)."""
+        system = juwels_booster()
+        if nodes > system.nodes:
+            raise ValueError(f"JUWELS Booster has {system.nodes} nodes")
+        return cls.on(system, nranks=nodes * ranks_per_node,
+                      ranks_per_node=ranks_per_node)
+
+    @classmethod
+    def msa(cls, cluster_nodes: int, booster_nodes: int,
+            cluster_ranks_per_node: int = 4,
+            booster_ranks_per_node: int = 4) -> "Machine":
+        """Modular (MSA) job spanning JUWELS Cluster and Booster.
+
+        Cluster nodes are mapped to cells *above* the Booster range of a
+        combined virtual system, so module-crossing messages take the
+        (tapered) inter-cell path -- matching the real deployment where
+        the modules meet through the global fabric.
+        """
+        cluster = juwels_cluster()
+        booster = juwels_booster()
+        npc = booster.nodes_per_cell
+        # Round the booster partition up to whole cells, then append the
+        # cluster partition starting on a fresh cell boundary.
+        booster_span = -(-booster_nodes // npc) * npc
+        total = booster_span + cluster_nodes
+        combined = replace(booster, nodes=max(total, booster.nodes),
+                           name="JUWELS MSA (combined)")
+        nranks = booster_nodes * booster_ranks_per_node + \
+            cluster_nodes * cluster_ranks_per_node
+        nodes_of_rank: list[int] = []
+        devices: list[DeviceSpec] = []
+        for r in range(booster_nodes * booster_ranks_per_node):
+            nodes_of_rank.append(r // booster_ranks_per_node)
+            devices.append(booster.node.device)
+        for r in range(cluster_nodes * cluster_ranks_per_node):
+            nodes_of_rank.append(booster_span + r // cluster_ranks_per_node)
+            devices.append(cluster.node.device)
+        return cls(system=combined, network=NetworkModel(system=combined),
+                   nranks=nranks, ranks_per_node=booster_ranks_per_node,
+                   devices=tuple(devices), nodes_of_rank=tuple(nodes_of_rank))
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def job_nodes(self) -> int:
+        """Distinct node count of the job (cached; hot path)."""
+        cached = self.__dict__.get("_job_nodes")
+        if cached is None:
+            cached = len(set(self.nodes_of_rank))
+            object.__setattr__(self, "_job_nodes", cached)
+        return cached
+
+    def node_of(self, rank: int) -> int:
+        """Node hosting a rank."""
+        return self.nodes_of_rank[rank]
+
+    def device_of(self, rank: int) -> DeviceSpec:
+        """Device executing a rank."""
+        return self.devices[rank]
+
+    def compute_seconds(self, rank: int, flops: float, bytes_moved: float,
+                        efficiency: float) -> float:
+        """Roofline compute time for a rank-local kernel."""
+        return self.devices[rank].compute_seconds(flops, bytes_moved, efficiency)
+
+    def p2p_seconds(self, src_rank: int, dst_rank: int, nbytes: float) -> float:
+        """Transfer time between two ranks."""
+        return self.network.p2p_time(self.nodes_of_rank[src_rank],
+                                     self.nodes_of_rank[dst_rank],
+                                     nbytes, job_nodes=self.job_nodes)
+
+    def node_set(self, ranks: tuple[int, ...]) -> tuple[int, ...]:
+        """Distinct nodes hosting the given ranks (for collective costs)."""
+        return tuple(sorted({self.nodes_of_rank[r] for r in ranks}))

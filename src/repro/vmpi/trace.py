@@ -1,0 +1,90 @@
+"""Per-rank timing traces produced by the virtual-MPI engine.
+
+The paper's analyses need exactly this decomposition: Fig. 3 plots the
+JUQCS *computation* and *communication* lines separately, and the Arbor
+discussion (Sec. IV-A2a) quotes cost-centre percentages (52 % ion
+channels, 33 % cable equation) with communication fully hidden.  The
+trace therefore buckets virtual time by op label.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class RankTrace:
+    """Accumulated virtual time of one rank, bucketed by label."""
+
+    compute: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    comm: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    bytes_sent: float = 0.0
+    ops: int = 0
+
+    @property
+    def compute_seconds(self) -> float:
+        """Total local-work time."""
+        return sum(self.compute.values())
+
+    @property
+    def comm_seconds(self) -> float:
+        """Total time blocked in communication (overlap excluded)."""
+        return sum(self.comm.values())
+
+
+@dataclass
+class SpmdResult:
+    """Result of one SPMD run: return values, final clocks, traces."""
+
+    values: list[Any]
+    clocks: list[float]
+    traces: list[RankTrace]
+
+    @property
+    def nranks(self) -> int:
+        return len(self.values)
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual makespan of the run (slowest rank)."""
+        return max(self.clocks) if self.clocks else 0.0
+
+    # ``seconds`` lets SpmdResult be returned straight from a scheduler job
+    # payload (the scheduler reads job durations from this attribute).
+    @property
+    def seconds(self) -> float:
+        """Alias for :attr:`elapsed`."""
+        return self.elapsed
+
+    @property
+    def compute_seconds(self) -> float:
+        """Max per-rank compute time (critical-path style aggregate)."""
+        return max((t.compute_seconds for t in self.traces), default=0.0)
+
+    @property
+    def comm_seconds(self) -> float:
+        """Max per-rank communication (blocked) time."""
+        return max((t.comm_seconds for t in self.traces), default=0.0)
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of the makespan the slowest-comm rank spent blocked."""
+        return self.comm_seconds / self.elapsed if self.elapsed > 0 else 0.0
+
+    def compute_profile(self) -> dict[str, float]:
+        """Aggregate compute time by label across ranks (for cost centres)."""
+        out: dict[str, float] = defaultdict(float)
+        for t in self.traces:
+            for label, sec in t.compute.items():
+                out[label] += sec
+        return dict(out)
+
+    def comm_profile(self) -> dict[str, float]:
+        """Aggregate communication time by label across ranks."""
+        out: dict[str, float] = defaultdict(float)
+        for t in self.traces:
+            for label, sec in t.comm.items():
+                out[label] += sec
+        return dict(out)

@@ -1,0 +1,191 @@
+"""Tests for Arbor: morphologies, Hines solver, HH channels, ring
+networks, and the benchmark."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.arbor import (
+    ArborBenchmark,
+    CableDiscretisation,
+    Cell,
+    HHChannels,
+    Morphology,
+    RingNetwork,
+    allen_like_cell,
+    hines_solve,
+    random_tree,
+    rates_m,
+    simulate_rings,
+    tree_matrix_dense,
+)
+
+
+class TestMorphology:
+    def test_random_tree_valid(self):
+        rng = np.random.default_rng(0)
+        m = random_tree(rng, depth=4)
+        assert m.parent[0] == -1
+        assert np.all(m.parent[1:] < np.arange(1, m.n_compartments))
+
+    def test_depth_increases_size(self):
+        rng = np.random.default_rng(1)
+        small = random_tree(rng, depth=2)
+        big = random_tree(np.random.default_rng(1), depth=5)
+        assert big.n_compartments > small.n_compartments
+
+    def test_allen_like_cell_is_complex(self):
+        m = allen_like_cell(np.random.default_rng(2))
+        assert m.n_compartments > 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Morphology(parent=np.array([0]), length=np.array([1.0]),
+                       radius=np.array([1.0]))
+        with pytest.raises(ValueError):
+            Morphology(parent=np.array([-1, 5]), length=np.ones(2),
+                       radius=np.ones(2))
+
+    def test_area_positive(self):
+        m = random_tree(np.random.default_rng(3), depth=3)
+        assert np.all(m.area() > 0)
+
+
+class TestHinesSolver:
+    @given(st.integers(min_value=1, max_value=60),
+           st.integers(min_value=0, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_dense_solve(self, n, seed):
+        rng = np.random.default_rng(seed)
+        parent = np.full(n, -1, dtype=np.int64)
+        for i in range(1, n):
+            parent[i] = int(rng.integers(0, i))
+        diag = rng.uniform(3.0, 6.0, n)
+        upper = -rng.uniform(0.1, 0.9, n)
+        upper[0] = 0.0
+        rhs = rng.normal(size=n)
+        x = hines_solve(diag, upper, parent, rhs)
+        a = tree_matrix_dense(diag, upper, parent)
+        assert np.allclose(a @ x, rhs, atol=1e-10)
+
+    def test_single_compartment(self):
+        x = hines_solve(np.array([2.0]), np.array([0.0]),
+                        np.array([-1]), np.array([4.0]))
+        assert x[0] == pytest.approx(2.0)
+
+
+class TestChannels:
+    def test_resting_state_is_steady(self):
+        m = Morphology(parent=np.array([-1]), length=np.array([20.0]),
+                       radius=np.array([10.0]))
+        cell = Cell.build(m)
+        t = 0.0
+        for _ in range(400):
+            cell.step(t, 0.025)
+            t += 0.025
+        assert cell.v[0] == pytest.approx(-65.0, abs=1.0)
+
+    def test_suprathreshold_stimulus_spikes(self):
+        m = Morphology(parent=np.array([-1]), length=np.array([20.0]),
+                       radius=np.array([10.0]))
+        cell = Cell.build(m)
+        cell.inject(1.0, 2.0, 0.8)
+        t, spikes, vmax = 0.0, 0, -100.0
+        for _ in range(800):
+            if cell.step(t, 0.025):
+                spikes += 1
+            vmax = max(vmax, float(cell.v[0]))
+            t += 0.025
+        assert spikes == 1
+        assert vmax > 20.0  # proper HH overshoot
+
+    def test_subthreshold_stimulus_does_not_spike(self):
+        m = Morphology(parent=np.array([-1]), length=np.array([20.0]),
+                       radius=np.array([10.0]))
+        cell = Cell.build(m)
+        cell.inject(1.0, 1.0, 0.02)
+        t, spikes = 0.0, 0
+        for _ in range(800):
+            if cell.step(t, 0.025):
+                spikes += 1
+            t += 0.025
+        assert spikes == 0
+
+    def test_vtrap_singularity_removed(self):
+        alpha, _ = rates_m(np.array([-40.0]))  # x = 0 in vtrap
+        assert np.isfinite(alpha[0])
+        assert alpha[0] == pytest.approx(1.0, rel=1e-3)
+
+    def test_gates_stay_in_unit_interval(self):
+        ch = HHChannels.for_areas(np.array([1000.0]))
+        v = np.array([-65.0])
+        for vstep in np.linspace(-80, 60, 50):
+            ch.advance_gates(np.array([vstep]), 0.025)
+            for gate in (ch.m, ch.h, ch.n):
+                assert 0.0 <= gate[0] <= 1.0
+
+
+class TestRingNetwork:
+    def test_spike_marches_around_ring(self):
+        net = RingNetwork(n_rings=1, cells_per_ring=4)
+        res = simulate_rings(net, t_end=15.0)
+        gids = [g for _, g in res["spikes"]]
+        assert gids[:4] == [0, 1, 2, 3]
+
+    def test_deterministic(self):
+        net = RingNetwork(n_rings=2, cells_per_ring=3)
+        a = simulate_rings(net, t_end=12.0)
+        b = simulate_rings(net, t_end=12.0)
+        assert a["spikes"] == b["spikes"]
+
+    def test_cross_ring_links_have_zero_weight(self):
+        net = RingNetwork(n_rings=2, cells_per_ring=3)
+        targets = net.targets(0)
+        assert (1, net.weight) in targets
+        assert (3, 0.0) in targets  # next ring, no dynamics
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RingNetwork(n_rings=0, cells_per_ring=4)
+        with pytest.raises(ValueError):
+            RingNetwork(n_rings=1, cells_per_ring=1)
+
+
+class TestArborBenchmark:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return ArborBenchmark()
+
+    def test_real_distributed_spike_count_exact(self, bench):
+        res = bench.run(nodes=1, real=True, scale=0.4)
+        assert res.verified is True
+        assert res.details["spikes"] > 0
+
+    def test_reference_runtime_near_paper(self, bench):
+        """Fig. 2 reference: 498 s on 8 nodes."""
+        res = bench.run(nodes=8)
+        assert res.fom_seconds == pytest.approx(498.0, rel=0.10)
+
+    def test_published_strong_scaling_points(self, bench):
+        """Fig. 2: 663 s @ 4 (memory-clamped), 332 @ 12, 250 @ 16."""
+        assert bench.run(nodes=12).fom_seconds == pytest.approx(332, rel=0.10)
+        assert bench.run(nodes=16).fom_seconds == pytest.approx(250, rel=0.10)
+        four = bench.run(nodes=4)
+        assert four.details["workload_clamped"]
+        assert four.fom_seconds == pytest.approx(663, rel=0.15)
+
+    def test_cost_centres_match_profile(self, bench):
+        """Sec. IV-A2a: 52 % ion channels, 33 % cable equation."""
+        res = bench.run(nodes=8)
+        assert res.details["channel_share"] == pytest.approx(0.52, abs=0.02)
+        assert res.details["cable_share"] == pytest.approx(0.33, abs=0.02)
+
+    def test_communication_hidden(self, bench):
+        res = bench.run(nodes=16)
+        assert res.details["comm_seconds"] < 0.05 * res.details["compute_seconds"]
+
+    def test_weak_scaling_efficiency_high(self, bench):
+        t64 = bench.run(nodes=64).fom_seconds
+        t256 = bench.run(nodes=256).fom_seconds
+        assert t64 / t256 > 0.95

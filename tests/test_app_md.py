@@ -1,0 +1,260 @@
+"""Tests for the MD substrate (neighbour lists, forces, integrator) and
+the GROMACS / Amber benchmarks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.md import (
+    AmberBenchmark,
+    EwaldParams,
+    GromacsBenchmark,
+    LjParams,
+    MdEngine,
+    MdSystem,
+    build_neighbor_list,
+    coulomb_energy,
+    ewald_real_space,
+    ewald_reciprocal,
+    lj_forces,
+    lj_pair_energy,
+    madelung_nacl,
+    minimum_image,
+    wrap_positions,
+)
+
+
+class TestNeighborList:
+    def test_finds_known_pairs(self):
+        pos = np.array([[0.0, 0, 0], [1.0, 0, 0], [5.0, 5, 5]])
+        nl = build_neighbor_list(pos, box=10.0, cutoff=2.0, skin=0.0)
+        assert nl.n_pairs == 1
+        assert set(nl.pairs[0]) == {0, 1}
+
+    def test_periodic_wraparound_pair(self):
+        pos = np.array([[0.2, 0, 0], [9.8, 0, 0]])
+        nl = build_neighbor_list(pos, box=10.0, cutoff=1.0, skin=0.0)
+        assert nl.n_pairs == 1
+
+    def test_no_duplicate_pairs_small_cell_grid(self):
+        """Regression: with 2 cells per dimension the +-1 stencil aliases
+        and used to double-count cross-cell pairs."""
+        rng = np.random.default_rng(0)
+        pos = rng.random((64, 3)) * 5.6
+        nl = build_neighbor_list(pos, box=5.6, cutoff=2.5, skin=0.3)
+        seen = {tuple(p) for p in nl.pairs}
+        assert len(seen) == nl.n_pairs
+
+    @given(st.integers(min_value=2, max_value=40),
+           st.integers(min_value=0, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_brute_force(self, n, seed):
+        rng = np.random.default_rng(seed)
+        box = 12.0
+        pos = rng.random((n, 3)) * box
+        cutoff = 2.0
+        nl = build_neighbor_list(pos, box, cutoff, skin=0.0)
+        got = {tuple(sorted(p)) for p in nl.pairs}
+        expected = set()
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = minimum_image(pos[i] - pos[j], box)
+                if (d ** 2).sum() <= cutoff ** 2:
+                    expected.add((i, j))
+        assert got == expected
+
+    def test_rebuild_trigger(self):
+        pos = np.zeros((2, 3))
+        pos[1, 0] = 1.0
+        nl = build_neighbor_list(pos, box=10.0, cutoff=2.0, skin=0.4)
+        assert not nl.needs_rebuild(pos, 10.0)
+        moved = pos.copy()
+        moved[0, 0] += 0.3  # > skin/2
+        assert nl.needs_rebuild(moved, 10.0)
+
+    def test_wrap_positions(self):
+        out = wrap_positions(np.array([[11.0, -1.0, 5.0]]), box=10.0)
+        assert np.allclose(out, [[1.0, 9.0, 5.0]])
+
+    def test_invalid_box(self):
+        with pytest.raises(ValueError):
+            wrap_positions(np.zeros((1, 3)), box=0.0)
+
+
+class TestForces:
+    def test_lj_two_particle_energy(self):
+        """At r = 2^(1/6) sigma the (unshifted) pair energy is -epsilon."""
+        r = 2.0 ** (1.0 / 6.0)
+        pos = np.array([[0.0, 0, 0], [r, 0, 0]])
+        nl = build_neighbor_list(pos, box=20.0, cutoff=3.0, skin=0.0)
+        p = LjParams(cutoff=3.0, shifted=False)
+        _, energy = lj_forces(pos, 20.0, nl, p)
+        assert energy == pytest.approx(-1.0, rel=1e-12)
+        assert lj_pair_energy(r, p) == pytest.approx(-1.0)
+
+    def test_lj_force_is_gradient(self):
+        rng = np.random.default_rng(1)
+        box = 10.0
+        pos = rng.random((6, 3)) * box
+        p = LjParams(cutoff=2.5)
+
+        def energy(q):
+            nl = build_neighbor_list(q, box, p.cutoff, skin=0.0)
+            return lj_forces(q, box, nl, p)[1]
+
+        nl = build_neighbor_list(pos, box, p.cutoff, skin=0.0)
+        forces, _ = lj_forces(pos, box, nl, p)
+        eps = 1e-6
+        for i, k in [(0, 0), (3, 2)]:
+            plus = pos.copy()
+            plus[i, k] += eps
+            minus = pos.copy()
+            minus[i, k] -= eps
+            numeric = -(energy(plus) - energy(minus)) / (2 * eps)
+            assert forces[i, k] == pytest.approx(numeric, abs=1e-5)
+
+    def test_newton_third_law(self):
+        rng = np.random.default_rng(2)
+        pos = rng.random((20, 3)) * 8.0
+        nl = build_neighbor_list(pos, 8.0, 2.5, skin=0.0)
+        forces, _ = lj_forces(pos, 8.0, nl, LjParams())
+        scale = max(np.abs(forces).max(), 1.0)
+        assert np.abs(forces.sum(axis=0)).max() / scale < 1e-12
+
+    def test_ewald_forces_are_gradients(self):
+        rng = np.random.default_rng(3)
+        box = 10.0
+        pos = rng.random((8, 3)) * box
+        q = np.where(np.arange(8) % 2 == 0, 1.0, -1.0)
+        params = EwaldParams(alpha=1.0, kmax=5, real_cutoff=2.5)
+
+        def energy(r):
+            nl = build_neighbor_list(r, box, params.real_cutoff, skin=0.0)
+            return coulomb_energy(r, q, box, nl, params)
+
+        nl = build_neighbor_list(pos, box, params.real_cutoff, skin=0.0)
+        fr, _ = ewald_real_space(pos, q, box, nl, params)
+        fk, _ = ewald_reciprocal(pos, q, box, params)
+        forces = fr + fk
+        eps = 1e-6
+        plus = pos.copy()
+        plus[2, 1] += eps
+        minus = pos.copy()
+        minus[2, 1] -= eps
+        numeric = -(energy(plus) - energy(minus)) / (2 * eps)
+        assert forces[2, 1] == pytest.approx(numeric, abs=1e-5)
+
+    def test_madelung_constant(self):
+        """The NaCl Madelung constant -1.7475646 (full Ewald anchor)."""
+        assert madelung_nacl() == pytest.approx(-1.7475646, abs=2e-4)
+
+    def test_lj_param_validation(self):
+        with pytest.raises(ValueError):
+            LjParams(epsilon=-1.0)
+        with pytest.raises(ValueError):
+            EwaldParams(alpha=0.0)
+
+
+class TestMdEngine:
+    def test_energy_conservation_lj(self):
+        rng = np.random.default_rng(5)
+        a = 2.0 ** (1.0 / 6.0)
+        system = MdSystem.lattice_gas(4, box=4 * a, temperature=0.1, rng=rng)
+        engine = MdEngine(system, LjParams(cutoff=2.0))
+        obs = engine.run(150, dt=0.002)
+        e = obs.total_energy
+        drift = abs(e[-1] - e[0]) / np.mean(obs.kinetic)
+        assert drift < 1e-3
+
+    def test_energy_conservation_with_ewald(self):
+        rng = np.random.default_rng(6)
+        system = MdSystem.lattice_gas(4, box=4.0, temperature=0.05, rng=rng,
+                                      charged=True)
+        engine = MdEngine(system, LjParams(sigma=0.8, cutoff=1.9),
+                          ewald=EwaldParams(alpha=1.5, kmax=8,
+                                            real_cutoff=1.9))
+        obs = engine.run(50, dt=0.001)
+        e = obs.total_energy
+        drift = abs(e[-1] - e[0]) / np.mean(obs.kinetic)
+        assert drift < 1e-3
+
+    def test_momentum_conserved(self):
+        rng = np.random.default_rng(7)
+        system = MdSystem.lattice_gas(3, box=4.0, temperature=0.2, rng=rng)
+        engine = MdEngine(system, LjParams(cutoff=1.8))
+        engine.run(50, dt=0.002)
+        assert np.abs(system.total_momentum()).max() < 1e-10
+
+    def test_temperature_definition(self):
+        rng = np.random.default_rng(8)
+        system = MdSystem.lattice_gas(5, box=10.0, temperature=1.0, rng=rng)
+        assert system.temperature() == pytest.approx(1.0, rel=0.15)
+
+    def test_charges_required_for_ewald(self):
+        rng = np.random.default_rng(9)
+        system = MdSystem.lattice_gas(3, box=4.0, temperature=0.1, rng=rng)
+        with pytest.raises(ValueError):
+            MdEngine(system, LjParams(), ewald=EwaldParams())
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MdSystem(positions=np.zeros((4, 3)), velocities=np.zeros((3, 3)),
+                     box=5.0, masses=np.ones(4))
+
+    def test_run_validation(self):
+        rng = np.random.default_rng(10)
+        system = MdSystem.lattice_gas(3, box=4.0, temperature=0.1, rng=rng)
+        engine = MdEngine(system, LjParams(cutoff=1.8))
+        with pytest.raises(ValueError):
+            engine.run(0)
+
+
+class TestGromacsBenchmark:
+    def test_case_selection(self):
+        assert GromacsBenchmark("A").case == "A"
+        with pytest.raises(ValueError):
+            GromacsBenchmark("B")
+
+    def test_real_run_verified(self):
+        res = GromacsBenchmark("A").run(nodes=1, real=True, scale=0.5)
+        assert res.verified is True
+        assert res.details["drift"] < 0.05
+
+    def test_case_a_strong_scaling_improves(self):
+        bench = GromacsBenchmark("A")
+        t2 = bench.run(nodes=2).fom_seconds
+        t6 = bench.run(nodes=6).fom_seconds
+        assert t6 < t2
+
+    def test_case_c_is_much_bigger(self):
+        a = GromacsBenchmark("A").run(nodes=3)
+        c = GromacsBenchmark("C").run(nodes=128)
+        assert c.details["atoms"] > 100 * a.details["atoms"]
+
+    def test_case_c_pme_comm_grows_with_scale(self):
+        bench = GromacsBenchmark("C")
+        small = bench.run(nodes=64).details["pme_comm_seconds"]
+        large = bench.run(nodes=256).details["pme_comm_seconds"]
+        assert large > small
+
+
+class TestAmberBenchmark:
+    def test_single_node_reference(self):
+        bench = AmberBenchmark()
+        assert bench.info.reference_nodes == 1
+        res = bench.run()
+        assert res.nodes == 1
+        assert res.details["atoms"] == 1_067_095
+
+    def test_no_scaling_beyond_one_node(self):
+        """Fig. 2's Amber curve is flat: the code does not scale past a
+        single node."""
+        bench = AmberBenchmark()
+        t1 = bench.run(nodes=1).fom_seconds
+        t2 = bench.run(nodes=2).fom_seconds
+        assert t2 >= t1 * 0.98
+
+    def test_real_run_verified(self):
+        res = AmberBenchmark().run(nodes=1, real=True, scale=0.4)
+        assert res.verified is True

@@ -1,0 +1,156 @@
+"""Tests for the nekRS spectral-element substrate and benchmark."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.nekrs import (
+    BASE_ELEMENTS,
+    HS_ELEMENTS,
+    NekrsBenchmark,
+    STRONG_SCALING_LIMIT,
+    StripMesh,
+    conduction_nusselt,
+    derivative_matrix,
+    flops_per_element,
+    gll_nodes_weights,
+    solve_poisson,
+    tensor_apply_3d,
+)
+from repro.core import MemoryVariant
+
+
+class TestGll:
+    def test_nodes_include_endpoints(self):
+        x, _ = gll_nodes_weights(6)
+        assert x[0] == pytest.approx(-1.0)
+        assert x[-1] == pytest.approx(1.0)
+
+    def test_weights_sum_to_two(self):
+        for n in (3, 5, 8, 12):
+            _, w = gll_nodes_weights(n)
+            assert w.sum() == pytest.approx(2.0)
+
+    @given(st.integers(min_value=3, max_value=10),
+           st.integers(min_value=0, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_quadrature_exact_to_2n_minus_3(self, n, k):
+        """GLL with n points integrates x^k exactly for k <= 2n-3."""
+        x, w = gll_nodes_weights(n)
+        k = min(k, 2 * n - 3)
+        exact = 2.0 / (k + 1) if k % 2 == 0 else 0.0
+        assert np.sum(w * x ** k) == pytest.approx(exact, abs=1e-12)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            gll_nodes_weights(1)
+
+
+class TestDerivativeMatrix:
+    @given(st.integers(min_value=3, max_value=10))
+    @settings(max_examples=15, deadline=None)
+    def test_differentiates_polynomials_exactly(self, n):
+        x, _ = gll_nodes_weights(n)
+        d = derivative_matrix(n)
+        for k in range(n):
+            assert np.allclose(d @ x ** k,
+                               k * x ** (k - 1) if k else np.zeros(n),
+                               atol=1e-10)
+
+    def test_constant_derivative_zero(self):
+        d = derivative_matrix(8)
+        assert np.allclose(d @ np.ones(8), 0.0, atol=1e-12)
+
+
+class TestTensorOps:
+    def test_axis_application(self):
+        n = 4
+        u = np.arange(n ** 3, dtype=float).reshape(n, n, n)
+        d = np.eye(n) * 2.0
+        assert np.allclose(tensor_apply_3d(d, u, 0), 2 * u)
+        with pytest.raises(ValueError):
+            tensor_apply_3d(d, u, 3)
+
+    def test_flops_model_scales_as_n4(self):
+        assert flops_per_element(10) > 14 * flops_per_element(5)
+
+
+class TestPoissonSolve:
+    def exact(self, mesh):
+        x, y, z = mesh.coords()
+        return np.sin(np.pi * x) * np.sin(np.pi * y) * np.sin(np.pi * z)
+
+    def test_spectral_convergence(self):
+        """Error must fall exponentially with polynomial order."""
+        errors = []
+        for n in (4, 6, 8):
+            mesh = StripMesh(n_elements=3, n=n)
+            u_exact = self.exact(mesh)
+            u, _ = solve_poisson(mesh, 3 * np.pi ** 2 * u_exact, tol=1e-12)
+            errors.append(float(np.max(np.abs(u - u_exact))))
+        assert errors[1] < errors[0] / 50
+        assert errors[2] < errors[1] / 50
+
+    def test_gather_scatter_sums_shared_faces(self):
+        mesh = StripMesh(n_elements=2, n=3)
+        u = np.ones((2, 3, 3, 3))
+        gs = mesh.gather_scatter(u)
+        assert gs[0, -1, 0, 0] == pytest.approx(2.0)
+        assert gs[0, 0, 0, 0] == pytest.approx(1.0)
+
+    def test_multiplicity(self):
+        mesh = StripMesh(n_elements=2, n=3)
+        m = mesh.multiplicity()
+        assert m[0, -1, 1, 1] == 2.0
+        assert m[0, 0, 1, 1] == 1.0
+
+    def test_zero_rhs(self):
+        mesh = StripMesh(n_elements=2, n=4)
+        u, iters = solve_poisson(mesh, np.zeros((2, 4, 4, 4)))
+        assert iters == 0
+        assert np.all(u == 0)
+
+    def test_conduction_nusselt_is_one(self):
+        assert conduction_nusselt(n=8) == pytest.approx(1.0, abs=1e-3)
+
+    def test_mesh_validation(self):
+        with pytest.raises(ValueError):
+            StripMesh(n_elements=0, n=4)
+
+
+class TestNekrsBenchmark:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return NekrsBenchmark()
+
+    def test_real_run_verified(self, bench):
+        res = bench.run(nodes=1, real=True, scale=0.8)
+        assert res.verified is True
+        assert res.details["poisson_error"] < 1e-4
+
+    def test_base_element_count(self, bench):
+        """Sec. IV-A2d: 719104 elements, 22472 per GPU on 8 nodes."""
+        res = bench.run(nodes=8)
+        assert res.details["elements"] == BASE_ELEMENTS
+        assert res.details["elements_per_gpu"] == pytest.approx(22472, rel=0.01)
+
+    def test_hs_variants_above_strong_scaling_limit(self, bench):
+        """All HS variants stay above 7000-8000 elements/GPU."""
+        for v in (MemoryVariant.SMALL, MemoryVariant.LARGE):
+            per_gpu = HS_ELEMENTS[v] / (642 * 4)
+            assert per_gpu > STRONG_SCALING_LIMIT
+
+    def test_hs_small_elements_per_gpu(self, bench):
+        assert HS_ELEMENTS[MemoryVariant.SMALL] / (642 * 4) == \
+            pytest.approx(11229, rel=0.01)
+
+    def test_strong_scaling_improves(self, bench):
+        t4 = bench.run(nodes=4).fom_seconds
+        t16 = bench.run(nodes=16).fom_seconds
+        assert t16 < t4 / 2
+
+    def test_weak_scaling_flat(self, bench):
+        t64 = bench.run(nodes=64).fom_seconds
+        t256 = bench.run(nodes=256).fom_seconds
+        assert t64 / t256 > 0.9

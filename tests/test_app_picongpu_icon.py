@@ -1,0 +1,198 @@
+"""Tests for PIConGPU (fields, particles, KHI) and ICON (shallow water)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.icon import (
+    IconBenchmark,
+    SUBCASES,
+    gaussian_hill,
+    geostrophic_state,
+    step_rk3,
+)
+from repro.apps.picongpu import (
+    GRIDS,
+    MAX_NODES,
+    ParticleSpecies,
+    PicongpuBenchmark,
+    YeeGrid2D,
+    boris_push,
+    deposit_charge,
+    gather_fields,
+    plane_wave,
+    run_khi_2d,
+)
+from repro.core import MemoryVariant
+from repro.units import TERA
+
+
+class TestYeeGrid:
+    def test_vacuum_energy_conserved(self):
+        g = YeeGrid2D(64, 8)
+        plane_wave(g)
+        e0 = g.energy()
+        dt = g.courant_dt() * 0.9
+        g.step_b(dt / 2)
+        for _ in range(100):
+            g.step_e(dt)
+            g.step_b(dt)
+        assert abs(g.energy() - e0) / e0 < 0.01
+
+    def test_courant_dt_positive_and_stable(self):
+        g = YeeGrid2D(16, 16)
+        assert 0 < g.courant_dt() < 1.0
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            YeeGrid2D(1, 5)
+
+
+class TestParticles:
+    def test_boris_gyro_radius(self):
+        """Uniform Bz: the orbit radius must be u/(qB/m) = 0.1."""
+        sp = ParticleSpecies(x=np.zeros((1, 2)), u=np.array([[0.1, 0.0]]),
+                             charge=-1.0, mass=1.0)
+        pos = np.zeros(2)
+        xs = []
+        for _ in range(5000):
+            boris_push(sp, np.zeros(1), np.zeros(1), np.ones(1), 0.01)
+            pos = pos + sp.velocity()[0] * 0.01
+            xs.append(pos.copy())
+        xs = np.array(xs)
+        radius = (xs[:, 0].max() - xs[:, 0].min()) / 2
+        assert radius == pytest.approx(0.1, rel=0.01)
+
+    def test_boris_conserves_energy_in_pure_b(self):
+        rng = np.random.default_rng(0)
+        sp = ParticleSpecies(x=rng.random((50, 2)),
+                             u=rng.normal(size=(50, 2)),
+                             charge=-1.0, mass=1.0)
+        e0 = sp.kinetic_energy()
+        for _ in range(200):
+            boris_push(sp, np.zeros(50), np.zeros(50), np.ones(50), 0.05)
+        assert sp.kinetic_energy() == pytest.approx(e0, rel=1e-12)
+
+    @given(st.integers(min_value=1, max_value=200),
+           st.integers(min_value=0, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_deposition_conserves_charge(self, n, seed):
+        rng = np.random.default_rng(seed)
+        sp = ParticleSpecies(x=rng.random((n, 2)) * 8.0,
+                             u=np.zeros((n, 2)), charge=-1.0, mass=1.0)
+        rho = deposit_charge(sp, 8, 8, 1.0, 1.0)
+        assert float(rho.sum()) == pytest.approx(-n, rel=1e-12)
+
+    def test_gather_uniform_field(self):
+        rng = np.random.default_rng(1)
+        sp = ParticleSpecies(x=rng.random((20, 2)) * 4.0,
+                             u=np.zeros((20, 2)), charge=1.0, mass=1.0)
+        ex = np.full((4, 4), 2.5)
+        gx, _, _ = gather_fields(sp, ex, ex, ex, 1.0, 1.0)
+        assert np.allclose(gx, 2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParticleSpecies(x=np.zeros((2, 2)), u=np.zeros((3, 2)),
+                            charge=1.0, mass=1.0)
+
+
+class TestKhi:
+    def test_charge_exactly_conserved(self):
+        diag = run_khi_2d(nx=16, ny=16, ppc=2, steps=30)
+        assert diag["charge_error"] < 1e-9
+
+    def test_energy_bounded(self):
+        diag = run_khi_2d(nx=16, ny=16, ppc=2, steps=30)
+        assert diag["energy_growth"] < 2.0
+
+
+class TestPicongpuBenchmark:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return PicongpuBenchmark()
+
+    def test_real_verified(self, bench):
+        res = bench.run(nodes=1, real=True, scale=0.5)
+        assert res.verified is True
+
+    def test_node_cap_640(self, bench):
+        """The 3D decomposition caps at 640, not 642 (Sec. IV-A2e)."""
+        res = bench.run(nodes=642)
+        assert res.nodes == MAX_NODES
+
+    def test_variant_grids_match_paper(self):
+        assert GRIDS[MemoryVariant.SMALL] == (4096, 2048, 1024)
+        assert GRIDS[MemoryVariant.MEDIUM] == (4096, 2048, 2048)
+        assert GRIDS[MemoryVariant.LARGE] == (4096, 4096, 2560)
+
+    def test_strong_scaling_near_ideal(self, bench):
+        t2 = bench.run(nodes=2).fom_seconds
+        t8 = bench.run(nodes=8).fom_seconds
+        assert t2 / t8 > 3.2  # > 80 % efficiency at 4x nodes
+
+    def test_weak_scaling_efficiency(self, bench):
+        t64 = bench.run(nodes=64).fom_seconds
+        t640 = bench.run(nodes=640).fom_seconds
+        assert t64 / t640 > 0.9
+
+
+class TestShallowWater:
+    def test_mass_exactly_conserved(self):
+        s = gaussian_hill(32, 32)
+        m0 = s.mass()
+        dt = s.courant_dt()
+        for _ in range(50):
+            step_rk3(s, dt)
+        assert s.mass() == pytest.approx(m0, rel=1e-13)
+
+    def test_energy_nearly_conserved(self):
+        s = gaussian_hill(32, 32)
+        e0 = s.energy()
+        dt = s.courant_dt()
+        for _ in range(50):
+            step_rk3(s, dt)
+        assert abs(s.energy() - e0) / e0 < 1e-3
+
+    def test_geostrophic_balance_persists(self):
+        s = geostrophic_state(8, 48)
+        u0 = s.u.copy()
+        dt = s.courant_dt()
+        for _ in range(60):
+            step_rk3(s, dt)
+        drift = np.max(np.abs(s.u - u0)) / np.max(np.abs(u0))
+        assert drift < 0.05
+
+    def test_validation(self):
+        s = gaussian_hill(8, 8)
+        with pytest.raises(ValueError):
+            step_rk3(s, -1.0)
+
+
+class TestIconBenchmark:
+    def test_real_verified(self):
+        res = IconBenchmark().run(nodes=1, real=True, scale=0.4)
+        assert res.verified is True
+        assert res.details["mass_error"] < 1e-12
+
+    def test_subcase_data_sizes(self):
+        """R02B09: 1.8 TB input; R02B10: 4.5 TB (Sec. IV-A1b)."""
+        assert SUBCASES["R02B09"]["input_bytes"] == pytest.approx(1.8 * TERA)
+        assert SUBCASES["R02B10"]["input_bytes"] == pytest.approx(4.5 * TERA)
+        assert SUBCASES["R02B09"]["nodes"] == 120
+        assert SUBCASES["R02B10"]["nodes"] == 300
+
+    def test_unknown_subcase(self):
+        with pytest.raises(ValueError):
+            IconBenchmark("R02B11")
+
+    def test_io_included_in_fom(self):
+        res = IconBenchmark().run(nodes=120)
+        assert res.details["io_seconds"] > 0
+        assert res.fom_seconds > res.details["io_seconds"]
+
+    def test_finer_resolution_costs_more(self):
+        coarse = IconBenchmark("R02B09").run(nodes=300)
+        fine = IconBenchmark("R02B10").run(nodes=300)
+        assert fine.fom_seconds > 2 * coarse.fom_seconds

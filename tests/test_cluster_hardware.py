@@ -1,0 +1,107 @@
+"""Tests for the hardware models (Sec. III-A numbers)."""
+
+import pytest
+
+from repro.cluster import (
+    A100,
+    SystemSpec,
+    jupiter_booster_model,
+    juwels_booster,
+    juwels_cluster,
+    preparation_subpartition,
+)
+from repro.units import GIGA, PETA, TERA
+
+
+class TestDeviceSpec:
+    def test_a100_basics(self):
+        assert A100.peak_flops == pytest.approx(19.5 * TERA)
+        assert A100.mem_capacity == pytest.approx(40 * GIGA)
+
+    def test_compute_seconds_flop_bound(self):
+        t = A100.compute_seconds(flops=19.5e12, efficiency=1.0)
+        assert t == pytest.approx(1.0)
+
+    def test_compute_seconds_bandwidth_bound(self):
+        t = A100.compute_seconds(flops=1.0, bytes_moved=1555e9, efficiency=1.0)
+        assert t == pytest.approx(1.0)
+
+    def test_efficiency_scales_time(self):
+        t1 = A100.compute_seconds(flops=1e12, efficiency=1.0)
+        t2 = A100.compute_seconds(flops=1e12, efficiency=0.5)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_zero_work_is_free(self):
+        assert A100.compute_seconds(0.0, 0.0) == 0.0
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            A100.compute_seconds(1.0, efficiency=0.0)
+
+
+class TestJuwelsBooster:
+    def test_paper_node_count(self):
+        assert juwels_booster().nodes == 936
+
+    def test_cells_of_48_nodes(self):
+        sysm = juwels_booster()
+        assert sysm.nodes_per_cell == 48
+        assert sysm.cells == 20  # ceil(936/48) = 19.5 -> 20
+
+    def test_theoretical_peak_about_73_pflops(self):
+        """Sec. III-A: JUWELS Booster provides ~73 PFLOP/s(th)."""
+        peak = juwels_booster().peak_flops
+        assert 70 * PETA < peak < 76 * PETA
+
+    def test_node_peak_is_4_gpus(self):
+        node = juwels_booster().node
+        assert node.peak_flops == pytest.approx(4 * A100.peak_flops)
+        assert node.device_mem_total == pytest.approx(160 * GIGA)
+
+
+class TestPartitions:
+    def test_50pf_subpartition_about_640_nodes(self):
+        """Sec. II-C: 50 PFLOP/s(th) fills about 640 nodes."""
+        part = preparation_subpartition()
+        assert 600 <= part.nodes <= 680
+
+    def test_nodes_for_peak_rounds_up(self):
+        sysm = juwels_booster()
+        one_node = sysm.node.peak_flops
+        assert sysm.nodes_for_peak(one_node) == 1
+        assert sysm.nodes_for_peak(one_node + 1) == 2
+
+    def test_with_nodes_validates(self):
+        with pytest.raises(ValueError):
+            juwels_booster().with_nodes(0)
+
+    def test_with_nodes_renames(self):
+        part = juwels_booster().with_nodes(8)
+        assert part.nodes == 8
+        assert "8" in part.name
+
+
+class TestJupiterModel:
+    def test_exceeds_one_exaflop(self):
+        """The proposal must offer a 1 EFLOP/s(th) sub-partition."""
+        model = jupiter_booster_model()
+        assert model.peak_flops >= 1.0e18
+
+    def test_growing_compute_memory_imbalance(self):
+        """Compute grows faster than memory (the trend motivating the
+        T/S/M/L memory variants)."""
+        model = jupiter_booster_model()
+        a100_ratio = A100.peak_flops / A100.mem_capacity
+        new_ratio = model.node.device.peak_flops / model.node.device.mem_capacity
+        assert new_ratio > a100_ratio
+
+
+class TestJuwelsCluster:
+    def test_cpu_module(self):
+        sysm = juwels_cluster()
+        assert sysm.node.device.kind == "cpu"
+
+    def test_system_spec_is_frozen(self):
+        sysm = juwels_cluster()
+        with pytest.raises(Exception):
+            sysm.nodes = 5  # type: ignore[misc]

@@ -1,0 +1,177 @@
+"""Tests for the storage model / sim filesystem and the batch scheduler."""
+
+import pytest
+
+from repro.cluster import (
+    IOR_EASY_TRANSFER,
+    IOR_HARD_TRANSFER,
+    Job,
+    JobState,
+    Scheduler,
+    SimFilesystem,
+    StorageModel,
+    juwels_booster,
+)
+from repro.units import GIB, KIB, MIB
+
+
+class TestStorageModel:
+    def setup_method(self):
+        self.model = StorageModel()
+
+    def test_easy_beats_hard(self):
+        """IOR easy (16 MiB, file-per-process) must outperform hard
+        (4 KiB shared file) -- the whole point of the two variants."""
+        total = 64 * GIB
+        bw_easy = self.model.bandwidth(total, 64, IOR_EASY_TRANSFER,
+                                       write=True, shared_file=False)
+        bw_hard = self.model.bandwidth(total, 64, IOR_HARD_TRANSFER,
+                                       write=True, shared_file=True)
+        assert bw_easy > 5 * bw_hard
+
+    def test_reads_faster_than_writes(self):
+        total = 64 * GIB
+        r = self.model.bandwidth(total, 64, IOR_EASY_TRANSFER, write=False)
+        w = self.model.bandwidth(total, 64, IOR_EASY_TRANSFER, write=True)
+        assert r > w
+
+    def test_bandwidth_saturates_with_clients(self):
+        total = 64 * GIB
+        bw_8 = self.model.bandwidth(total, 8, IOR_EASY_TRANSFER)
+        bw_64 = self.model.bandwidth(total, 64, IOR_EASY_TRANSFER)
+        bw_128 = self.model.bandwidth(total, 128, IOR_EASY_TRANSFER)
+        assert bw_8 < bw_64
+        assert bw_128 <= bw_64 * 1.05  # saturated
+
+    def test_shared_file_penalty_only_for_small_transfers(self):
+        total = 4 * GIB
+        t_small = self.model.transfer_time(total, 16, 4 * KIB, shared_file=True)
+        t_small_own = self.model.transfer_time(total, 16, 4 * KIB, shared_file=False)
+        t_big = self.model.transfer_time(total, 16, 16 * MIB, shared_file=True)
+        t_big_own = self.model.transfer_time(total, 16, 16 * MIB, shared_file=False)
+        assert t_small > 1.5 * t_small_own
+        assert t_big < 1.1 * t_big_own
+
+    def test_zero_bytes_free(self):
+        assert self.model.transfer_time(0, 4, 4 * KIB) == 0.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.transfer_time(-1, 4, 4 * KIB)
+        with pytest.raises(ValueError):
+            self.model.transfer_time(10, 0, 4 * KIB)
+        with pytest.raises(ValueError):
+            self.model.transfer_time(10, 4, 0)
+
+
+class TestSimFilesystem:
+    def test_write_read_roundtrip(self):
+        fs = SimFilesystem()
+        f = fs.open("out.dat")
+        f.write_at(0, b"hello", writer=0)
+        f.write_at(5, b"world", writer=1)
+        assert f.read_at(0, 10) == b"helloworld"
+
+    def test_read_past_eof_zero_filled(self):
+        fs = SimFilesystem()
+        f = fs.open("x")
+        f.write_at(0, b"ab", writer=0)
+        assert f.read_at(0, 4) == b"ab\0\0"
+
+    def test_shared_block_conflicts_counted(self):
+        fs = SimFilesystem()
+        f = fs.open("shared")
+        # Two writers interleave 1 KiB records inside the same 4 KiB block.
+        f.write_at(0, b"a" * 1024, writer=0)
+        f.write_at(1024, b"b" * 1024, writer=1)
+        f.write_at(2048, b"c" * 1024, writer=0)
+        assert f.lock_conflicts >= 2
+
+    def test_file_per_process_no_conflicts(self):
+        fs = SimFilesystem()
+        for w in range(4):
+            f = fs.open(f"rank{w}.dat")
+            f.write_at(0, b"x" * 8192, writer=w)
+        assert all(f.lock_conflicts == 0 for f in fs.files.values())
+
+    def test_unlink(self):
+        fs = SimFilesystem()
+        fs.open("a").write_at(0, b"zz", writer=0)
+        fs.unlink("a")
+        fs.unlink("missing")  # no error
+        assert fs.total_bytes == 0
+
+
+class TestScheduler:
+    def make(self, nodes=96):
+        return Scheduler(juwels_booster().with_nodes(nodes))
+
+    def test_fifo_completion(self):
+        s = self.make()
+        j1 = s.submit(Job("a", nodes=96, walltime=100))
+        j2 = s.submit(Job("b", nodes=96, walltime=50))
+        s.drain()
+        assert j1.state is JobState.COMPLETED
+        assert j2.state is JobState.COMPLETED
+        assert j2.start_time == pytest.approx(100)
+
+    def test_backfill_small_job_runs_alongside(self):
+        s = self.make()
+        s.submit(Job("big", nodes=64, walltime=100))
+        blocked = s.submit(Job("blocked", nodes=96, walltime=10))
+        filler = s.submit(Job("filler", nodes=16, walltime=5))
+        assert filler.state is JobState.RUNNING
+        assert blocked.state is JobState.PENDING
+        s.drain()
+        assert filler.start_time == pytest.approx(0.0)
+
+    def test_payload_runs_and_result_stored(self):
+        s = self.make()
+        job = s.submit(Job("p", nodes=4, walltime=10,
+                           run=lambda alloc: sum(alloc)))
+        s.drain()
+        assert job.state is JobState.COMPLETED
+        assert job.result == sum(job.allocated)
+
+    def test_payload_exception_fails_job(self):
+        def boom(alloc):
+            raise RuntimeError("kernel panic")
+        s = self.make()
+        job = s.submit(Job("bad", nodes=1, walltime=10, run=boom))
+        s.drain()
+        assert job.state is JobState.FAILED
+        assert "kernel panic" in job.error
+
+    def test_oversized_request_rejected(self):
+        s = self.make()
+        with pytest.raises(ValueError):
+            s.submit(Job("huge", nodes=1000, walltime=1))
+
+    def test_cell_aligned_allocation(self):
+        s = Scheduler(juwels_booster().with_nodes(192))
+        s.submit(Job("pad", nodes=8, walltime=100))
+        big = s.submit(Job("cells", nodes=96, walltime=10))
+        assert big.allocated[0] % 48 == 0
+
+    def test_cancel_pending(self):
+        s = self.make()
+        s.submit(Job("run", nodes=96, walltime=10))
+        j = s.submit(Job("victim", nodes=96, walltime=10))
+        s.cancel(j)
+        s.drain()
+        assert j.state is JobState.CANCELLED
+
+    def test_utilization_bounded(self):
+        s = self.make()
+        s.submit(Job("a", nodes=48, walltime=100))
+        s.submit(Job("b", nodes=48, walltime=100))
+        s.drain()
+        assert 0.0 < s.utilization <= 1.0
+
+    def test_wait_time(self):
+        s = self.make()
+        first = s.submit(Job("first", nodes=96, walltime=42))
+        second = s.submit(Job("second", nodes=96, walltime=1))
+        s.drain()
+        assert first.wait_time == pytest.approx(0.0)
+        assert second.wait_time == pytest.approx(42.0)

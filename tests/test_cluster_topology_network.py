@@ -1,0 +1,161 @@
+"""Tests for the DragonFly+ topology and the communication cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    DragonflyPlus,
+    FatTree,
+    LinkClass,
+    NetworkModel,
+    juwels_booster,
+)
+from repro.units import MIB
+
+
+@pytest.fixture(scope="module")
+def booster():
+    return juwels_booster()
+
+
+@pytest.fixture(scope="module")
+def topo(booster):
+    return DragonflyPlus(booster)
+
+
+@pytest.fixture(scope="module")
+def net(booster):
+    return NetworkModel(system=booster)
+
+
+class TestTopology:
+    def test_cell_boundaries(self, topo):
+        assert topo.cell_of(0) == 0
+        assert topo.cell_of(47) == 0
+        assert topo.cell_of(48) == 1
+
+    def test_classification(self, topo):
+        assert topo.classify(3, 3) is LinkClass.INTRA_NODE
+        assert topo.classify(0, 47) is LinkClass.INTRA_CELL
+        assert topo.classify(0, 48) is LinkClass.INTER_CELL
+
+    def test_hops_ordering(self, topo):
+        assert topo.hops(5, 5) == 0
+        assert topo.hops(0, 1) < topo.hops(0, 100)
+
+    def test_node_bounds_checked(self, topo):
+        with pytest.raises(ValueError):
+            topo.cell_of(936)
+
+    def test_bisection_grows_with_job(self, topo):
+        assert topo.bisection_bandwidth(96) <= topo.bisection_bandwidth(192)
+
+    def test_bisection_tapered_across_cells(self, topo, booster):
+        """A 2-cell job has less bisection than twice a 1-cell job's
+        injection-limited bisection (the DragonFly+ taper)."""
+        one_cell = topo.bisection_bandwidth(48)
+        two_cells = topo.bisection_bandwidth(96)
+        assert two_cells < 2 * one_cell
+
+    def test_graph_structure(self, topo):
+        g = topo.graph(96)
+        switches = [n for n, d in g.nodes(data=True) if d["kind"] == "switch"]
+        nodes = [n for n, d in g.nodes(data=True) if d["kind"] == "node"]
+        assert len(switches) == 2
+        assert len(nodes) == 96
+
+    @given(st.integers(min_value=0, max_value=935),
+           st.integers(min_value=0, max_value=935))
+    def test_classify_symmetric(self, a, b):
+        topo = DragonflyPlus(juwels_booster())
+        assert topo.classify(a, b) == topo.classify(b, a)
+
+
+class TestFatTree:
+    def test_no_inter_cell_class(self, booster):
+        ft = FatTree(booster)
+        assert ft.classify(0, 900) is LinkClass.INTRA_CELL
+
+    def test_full_bisection(self, booster):
+        ft = FatTree(booster)
+        df = DragonflyPlus(booster)
+        assert ft.bisection_bandwidth(480) > df.bisection_bandwidth(480)
+
+
+class TestP2P:
+    def test_latency_ordering(self, net):
+        assert net.latency(LinkClass.INTRA_NODE) < net.latency(LinkClass.INTRA_CELL)
+        assert net.latency(LinkClass.INTRA_CELL) < net.latency(LinkClass.INTER_CELL)
+
+    def test_bandwidth_ordering(self, net):
+        bw_nv = net.link_bandwidth(LinkClass.INTRA_NODE)
+        bw_ib = net.link_bandwidth(LinkClass.INTRA_CELL)
+        bw_gl = net.link_bandwidth(LinkClass.INTER_CELL)
+        assert bw_nv > bw_ib > bw_gl
+
+    def test_juqcs_drop_one_to_two_nodes(self, net):
+        """Fig. 3's first JUQCS drop: intra-node NVLink vs inter-node IB."""
+        n = 256 * MIB
+        t_intra = net.p2p_time(0, 0, n)
+        t_inter = net.p2p_time(0, 1, n)
+        assert t_inter > 3 * t_intra
+
+    def test_juqcs_drop_large_scale(self, net):
+        """Fig. 3's second JUQCS drop: the large-scale regime >= 256 nodes."""
+        n = 256 * MIB
+        t_small_job = net.p2p_time(0, 100, n, job_nodes=128)
+        t_large_job = net.p2p_time(0, 100, n, job_nodes=512)
+        assert t_large_job > t_small_job
+
+    def test_zero_bytes_costs_latency_only(self, net):
+        assert net.p2p_time(0, 1, 0) == pytest.approx(
+            net.latency(LinkClass.INTRA_CELL))
+
+    def test_negative_size_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.p2p_time(0, 1, -5)
+
+    @given(st.integers(min_value=1, max_value=int(1e9)))
+    def test_monotone_in_size(self, nbytes):
+        net = NetworkModel(system=juwels_booster())
+        assert net.p2p_time(0, 1, nbytes) <= net.p2p_time(0, 1, nbytes + 1024)
+
+
+class TestCollectives:
+    NODES_1CELL = tuple(range(8))
+    NODES_XCELL = tuple(range(0, 480, 4))
+
+    def test_allreduce_scales_mildly_with_ranks(self, net):
+        t8 = net.allreduce_time(self.NODES_1CELL, 32, 1e6)
+        t16 = net.allreduce_time(self.NODES_1CELL, 64, 1e6)
+        assert t8 < t16 < 2 * t8
+
+    def test_allreduce_single_rank_free(self, net):
+        assert net.allreduce_time((0,), 1, 1e9) == 0.0
+
+    def test_alltoall_bisection_bound_bites_at_scale(self, net):
+        """QE's FFT transpose: per-rank pipeline underestimates the cost
+        once cross-cell bisection saturates."""
+        nranks = len(self.NODES_XCELL) * 4
+        per_pair = 1 * MIB
+        t = net.alltoall_time(self.NODES_XCELL, nranks, per_pair)
+        link = net.link_bandwidth(LinkClass.INTER_CELL, len(self.NODES_XCELL))
+        pipeline_only = (nranks - 1) * (net.latency(LinkClass.INTER_CELL)
+                                        + per_pair / link)
+        assert t >= pipeline_only
+
+    def test_bcast_cheaper_than_allgather(self, net):
+        n = 8 * MIB
+        assert net.bcast_time(self.NODES_1CELL, 32, n) < \
+            net.allgather_time(self.NODES_1CELL, 32, n)
+
+    def test_barrier_latency_only(self, net):
+        t = net.barrier_time(self.NODES_1CELL, 32)
+        assert 0 < t < 1e-3
+
+    def test_collectives_free_for_one_rank(self, net):
+        assert net.barrier_time((0,), 1) == 0.0
+        assert net.bcast_time((0,), 1, 1e9) == 0.0
+        assert net.allgather_time((0,), 1, 1e9) == 0.0
+        assert net.alltoall_time((0,), 1, 1e9) == 0.0

@@ -1,0 +1,175 @@
+"""Tests for Continuous Benchmarking (Sec. VI future work) and the
+energy/TCO plumbing (power model, job energy, lifetime cost)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import EnergyModel, juwels_booster
+from repro.core import (
+    Baseline,
+    BenchmarkResult,
+    ContinuousBenchmarking,
+    RegressionAlert,
+)
+
+
+def _result(name: str, fom: float) -> BenchmarkResult:
+    return BenchmarkResult(benchmark=name, nodes=8, fom_seconds=fom)
+
+
+class TestBaseline:
+    def test_from_runs_median_and_noise(self):
+        base = Baseline.from_runs({"Arbor": [500.0, 498.0, 502.0]})
+        assert base.foms["Arbor"] == pytest.approx(500.0)
+        assert base.noise["Arbor"] >= 0.01
+
+    def test_single_run_gets_floor_noise(self):
+        base = Baseline.from_runs({"Arbor": [500.0]})
+        assert base.noise["Arbor"] == pytest.approx(0.01)
+
+    def test_invalid_runs_rejected(self):
+        with pytest.raises(ValueError):
+            Baseline.from_runs({"Arbor": []})
+        with pytest.raises(ValueError):
+            Baseline.from_runs({"Arbor": [1.0, -2.0]})
+
+    def test_record(self):
+        base = Baseline()
+        base.record("JUQCS", 5.9)
+        assert base.foms["JUQCS"] == 5.9
+        with pytest.raises(ValueError):
+            base.record("JUQCS", 0.0)
+
+
+class TestContinuousBenchmarking:
+    def make(self, degradation_after=None, factor=1.5):
+        base = Baseline.from_runs({"Arbor": [500.0, 501.0, 499.0],
+                                   "JUQCS": [6.0, 6.0, 6.1]})
+        counter = {"n": 0}
+
+        def runner(name):
+            counter["n"] += 1
+            fom = base.foms[name]
+            if degradation_after is not None and \
+                    len(cb.history) >= degradation_after and name == "JUQCS":
+                fom *= factor
+            return _result(name, fom * (1.0 + 0.001))
+
+        cb = ContinuousBenchmarking(base, runner)
+        return cb
+
+    def test_healthy_system_no_alerts(self):
+        cb = self.make()
+        for _ in range(4):
+            report = cb.run_interval()
+            assert report.healthy
+
+    def test_degradation_detected_on_right_benchmark(self):
+        """A 'bad maintenance' slowing one benchmark by 50 % fires an
+        alert for exactly that benchmark."""
+        cb = self.make(degradation_after=2)
+        for _ in range(2):
+            assert cb.run_interval().healthy
+        report = cb.run_interval()
+        assert not report.healthy
+        assert [a.benchmark for a in report.alerts] == ["JUQCS"]
+        assert report.alerts[0].slowdown == pytest.approx(1.5, rel=0.01)
+
+    def test_small_noise_does_not_alert(self):
+        base = Baseline.from_runs({"Arbor": [500.0, 505.0, 495.0]})
+        rng = np.random.default_rng(0)
+
+        def runner(name):
+            return _result(name, 500.0 * (1 + rng.normal(scale=0.005)))
+
+        cb = ContinuousBenchmarking(base, runner)
+        for _ in range(10):
+            assert cb.run_interval().healthy
+
+    def test_drift_estimation(self):
+        base = Baseline.from_runs({"Arbor": [100.0, 100.0]})
+        step = {"n": 0}
+
+        def runner(name):
+            step["n"] += 1
+            return _result(name, 100.0 + 2.0 * step["n"])  # +2 %/interval
+
+        cb = ContinuousBenchmarking(base, runner, sigma=1e9)  # mute alerts
+        for _ in range(5):
+            cb.run_interval()
+        assert cb.drift("Arbor") == pytest.approx(0.02, rel=0.05)
+
+    def test_unknown_benchmark_rejected(self):
+        cb = self.make()
+        with pytest.raises(KeyError):
+            cb.run_interval(["HAL9000"])
+
+    def test_summary_renders(self):
+        cb = self.make()
+        cb.run_interval()
+        text = cb.summary()
+        assert "Arbor" in text and "drift" in text
+
+    def test_threshold_validation(self):
+        base = Baseline.from_runs({"A": [1.0]})
+        with pytest.raises(ValueError):
+            ContinuousBenchmarking(base, lambda n: _result(n, 1.0),
+                                   sigma=0.0)
+
+    def test_regression_alert_slowdown(self):
+        alert = RegressionAlert(benchmark="x", baseline=100.0,
+                                measured=130.0)
+        assert alert.slowdown == pytest.approx(1.3)
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return EnergyModel(system=juwels_booster())
+
+    def test_idle_vs_peak_power(self, model):
+        assert model.node_power(0.0) == pytest.approx(500.0)
+        assert model.node_power(1.0) == pytest.approx(2500.0)
+        with pytest.raises(ValueError):
+            model.node_power(1.5)
+
+    def test_job_energy_scales_linearly(self, model):
+        one = model.job_energy(nodes=1, seconds=100.0)
+        many = model.job_energy(nodes=10, seconds=100.0)
+        assert many == pytest.approx(10 * one)
+
+    def test_pue_applied(self):
+        lean = EnergyModel(system=juwels_booster(), pue=1.0)
+        fat = EnergyModel(system=juwels_booster(), pue=1.3)
+        assert fat.job_energy(1, 100.0) == pytest.approx(
+            1.3 * lean.job_energy(1, 100.0))
+
+    def test_kwh_conversion(self, model):
+        joules = model.job_energy(1, 3600.0, utilization=1.0)
+        kwh = model.job_energy_kwh(1, 3600.0, utilization=1.0)
+        assert kwh == pytest.approx(joules / 3.6e6)
+        # one node-hour at peak + PUE: 2.5 kW * 1.15 = 2.875 kWh
+        assert kwh == pytest.approx(2.875)
+
+    def test_lifetime_cost_magnitude(self, model):
+        """936 nodes for 6 years lands in the tens of MEUR -- the
+        'substantial part of the overall project budget' (Sec. II-B)."""
+        cost = model.lifetime_energy_cost(lifetime_years=6.0)
+        assert 2e7 < cost < 3e8
+
+    def test_flops_per_joule(self, model):
+        eff = model.flops_per_joule(achieved_flops=44e15)  # HPL number
+        assert 1e9 < eff < 1e11  # GF/J scale of an A100 system
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_power_monotone_in_utilization(self, u):
+        model = EnergyModel(system=juwels_booster())
+        assert model.node_power(u) <= model.node_power(1.0)
+        assert model.node_power(u) >= model.node_power(0.0)
+
+    def test_negative_inputs_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.job_energy(-1, 10.0)

@@ -1,0 +1,108 @@
+"""Tests for FOM normalisation and memory variants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import A100, DeviceSpec
+from repro.core import (
+    FigureOfMerit,
+    FomKind,
+    MemoryVariant,
+    ReferenceResult,
+    VariantSizing,
+    variant_labels,
+)
+from repro.units import GIGA
+
+
+class TestFigureOfMerit:
+    def test_runtime_identity(self):
+        fom = FigureOfMerit(name="runtime")
+        assert fom.time_metric(498.0) == 498.0
+
+    def test_rate_normalisation(self):
+        """Megatron-LM: tokens/s FOM normalised by 20M tokens."""
+        fom = FigureOfMerit(name="tokens", kind=FomKind.RATE, work=20e6)
+        assert fom.time_metric(1e5) == pytest.approx(200.0)
+
+    def test_bandwidth_normalisation(self):
+        fom = FigureOfMerit(name="ior", kind=FomKind.BANDWIDTH, work=1e12)
+        assert fom.time_metric(100e9) == pytest.approx(10.0)
+
+    def test_rate_needs_work(self):
+        with pytest.raises(ValueError):
+            FigureOfMerit(name="bad", kind=FomKind.RATE)
+
+    def test_nonpositive_measurement(self):
+        fom = FigureOfMerit(name="t")
+        with pytest.raises(ValueError):
+            fom.time_metric(0.0)
+
+    @given(st.floats(min_value=1e-3, max_value=1e9, allow_nan=False))
+    def test_from_time_inverts(self, rate):
+        fom = FigureOfMerit(name="r", kind=FomKind.RATE, work=1e6)
+        assert fom.from_time(fom.time_metric(rate)) == pytest.approx(rate)
+
+
+class TestReferenceResult:
+    def test_improvement_factor(self):
+        ref = ReferenceResult(benchmark="Arbor", nodes=8, time_metric=498.0)
+        assert ref.improvement(249.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReferenceResult(benchmark="x", nodes=0, time_metric=1.0)
+        with pytest.raises(ValueError):
+            ReferenceResult(benchmark="x", nodes=1, time_metric=0.0)
+
+
+class TestMemoryVariants:
+    def test_fractions(self):
+        assert MemoryVariant.TINY.fraction == 0.25
+        assert MemoryVariant.SMALL.fraction == 0.50
+        assert MemoryVariant.MEDIUM.fraction == 0.75
+        assert MemoryVariant.LARGE.fraction == 1.00
+
+    def test_from_label(self):
+        assert MemoryVariant.from_label("s") is MemoryVariant.SMALL
+        with pytest.raises(ValueError):
+            MemoryVariant.from_label("X")
+
+    def test_sizing_against_reference_gpu(self):
+        """Variants size against the 40 GB A100 of the prep system."""
+        sizing = VariantSizing()
+        large = sizing.bytes_per_device(MemoryVariant.LARGE)
+        tiny = sizing.bytes_per_device(MemoryVariant.TINY)
+        assert large <= A100.mem_capacity
+        assert tiny == pytest.approx(large / 4)
+
+    def test_best_variant_prefers_largest_fitting(self):
+        sizing = VariantSizing()
+        big_gpu = DeviceSpec(name="big", peak_flops=1e15,
+                             mem_capacity=96 * GIGA, mem_bandwidth=3e12)
+        assert sizing.best_variant(big_gpu) is MemoryVariant.LARGE
+
+    def test_small_gpu_falls_back(self):
+        sizing = VariantSizing()
+        small_gpu = DeviceSpec(name="small", peak_flops=1e15,
+                               mem_capacity=24 * GIGA, mem_bandwidth=3e12)
+        best = sizing.best_variant(small_gpu)
+        assert best is MemoryVariant.SMALL
+
+    def test_nothing_fits_raises(self):
+        sizing = VariantSizing()
+        minuscule = DeviceSpec(name="tiny", peak_flops=1e12,
+                               mem_capacity=4 * GIGA, mem_bandwidth=1e12)
+        with pytest.raises(ValueError):
+            sizing.best_variant(minuscule)
+
+    def test_scaleup_shrinks_choice(self):
+        """If the future workload needs 2x memory per device, a 40 GB
+        device can no longer host the LARGE variant."""
+        sizing = VariantSizing()
+        assert sizing.best_variant(A100) is MemoryVariant.LARGE
+        assert sizing.best_variant(A100, scaleup=2.0) is MemoryVariant.SMALL
+
+    def test_variant_labels(self):
+        assert variant_labels(tuple(MemoryVariant)) == "T,S,M,L"

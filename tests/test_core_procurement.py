@@ -1,0 +1,199 @@
+"""Tests for TCO value-for-money, High-Scaling assessment, and the
+end-to-end procurement evaluation."""
+
+import pytest
+
+from repro.cluster import juwels_booster, jupiter_booster_model
+from repro.core import (
+    SCALE_UP,
+    HighScalingCase,
+    HighScalingCommitment,
+    MemoryVariant,
+    ProcurementEvaluation,
+    ReferenceResult,
+    SystemProposal,
+    TcoModel,
+    WorkloadMix,
+    prep_partition_nodes,
+    proposal_partition_nodes,
+)
+
+
+def make_mix():
+    return WorkloadMix().add("GROMACS", 3.0).add("ICON", 2.0).add("JUQCS", 1.0)
+
+
+def make_refs():
+    return {
+        "GROMACS": ReferenceResult("GROMACS", nodes=8, time_metric=600.0),
+        "ICON": ReferenceResult("ICON", nodes=120, time_metric=900.0),
+        "JUQCS": ReferenceResult("JUQCS", nodes=8, time_metric=300.0),
+    }
+
+
+def make_proposal(name="vendor-a", speedup=2.0, **kw):
+    refs = make_refs()
+    prop = SystemProposal(name=name, system=jupiter_booster_model(), **kw)
+    for bench, ref in refs.items():
+        prop.commit(bench, nodes=max(1, ref.nodes // 2),
+                    time_metric=ref.time_metric / speedup)
+    return prop
+
+
+class TestPartitionSizing:
+    def test_prep_partition_is_about_640(self):
+        assert 600 <= prep_partition_nodes() <= 680
+
+    def test_power_of_two_rule_gives_512(self):
+        assert prep_partition_nodes(power_of_two=True) == 512
+
+    def test_scale_up_is_20x(self):
+        assert SCALE_UP == pytest.approx(20.0)
+
+    def test_proposal_partition(self):
+        model = jupiter_booster_model()
+        nodes = proposal_partition_nodes(model)
+        assert nodes * model.node.peak_flops >= 1.0e18
+        assert nodes <= model.nodes
+
+
+class TestTcoModel:
+    def test_faster_commitments_win(self):
+        model = TcoModel(mix=make_mix(), references=make_refs())
+        slow = make_proposal("slow", speedup=1.5)
+        fast = make_proposal("fast", speedup=3.0)
+        ranked = model.rank([slow, fast])
+        assert ranked[0].proposal == "fast"
+        assert ranked[0].value_for_money > ranked[1].value_for_money
+
+    def test_missing_commitment_rejected(self):
+        model = TcoModel(mix=make_mix(), references=make_refs())
+        prop = SystemProposal(name="empty", system=jupiter_booster_model())
+        with pytest.raises(ValueError):
+            model.workload_rate(prop)
+
+    def test_missing_reference_rejected(self):
+        with pytest.raises(ValueError):
+            TcoModel(mix=make_mix(), references={})
+
+    def test_tco_includes_energy(self):
+        model = TcoModel(mix=make_mix(), references=make_refs())
+        prop = make_proposal()
+        assert model.tco(prop) > prop.capex_eur
+
+    def test_cheaper_energy_improves_vfm(self):
+        model = TcoModel(mix=make_mix(), references=make_refs())
+        normal = make_proposal("normal", eur_per_kwh=0.20)
+        cheap = make_proposal("cheap", eur_per_kwh=0.05)
+        assert model.assess(cheap).value_for_money > \
+            model.assess(normal).value_for_money
+
+    def test_workload_rate_scales_with_system_size(self):
+        model = TcoModel(mix=make_mix(), references=make_refs())
+        prop = make_proposal()
+        small_system = juwels_booster()
+        small = SystemProposal(name="small", system=small_system,
+                               commitments=dict(prop.commitments))
+        assert model.workload_rate(prop) > model.workload_rate(small)
+
+    def test_workload_weights_matter(self):
+        """Doubling the weight of the benchmark a proposal is bad at must
+        lower its blended rate."""
+        refs = make_refs()
+        prop = make_proposal()
+        # make ICON the weak spot
+        prop.commit("ICON", nodes=60, time_metric=5000.0)
+        light = TcoModel(WorkloadMix().add("GROMACS", 5.0).add("ICON", 1.0)
+                         .add("JUQCS", 1.0), refs)
+        heavy = TcoModel(WorkloadMix().add("GROMACS", 1.0).add("ICON", 5.0)
+                         .add("JUQCS", 1.0), refs)
+        assert heavy.workload_rate(prop) < light.workload_rate(prop)
+
+
+class TestHighScalingCase:
+    def case(self):
+        return HighScalingCase(
+            benchmark="JUQCS",
+            variants=(MemoryVariant.SMALL, MemoryVariant.LARGE),
+            power_of_two=True)
+
+    def test_prep_nodes_power_of_two(self):
+        assert self.case().prep_nodes() == 512
+
+    def test_assessment_ratio(self):
+        a = self.case().assess(MemoryVariant.LARGE, 100.0, 120.0)
+        assert a.ratio == pytest.approx(1.2)
+        assert a.speedup == pytest.approx(1 / 1.2)
+
+    def test_wrong_variant_rejected(self):
+        with pytest.raises(ValueError):
+            self.case().assess(MemoryVariant.TINY, 100.0, 100.0)
+
+    def test_choose_variant_for_big_gpu(self):
+        model = jupiter_booster_model(mem_per_device=96e9)
+        assert self.case().choose_variant(model) is MemoryVariant.LARGE
+
+
+class TestProcurementEvaluation:
+    def make_eval(self):
+        cases = {"JUQCS": HighScalingCase(
+            benchmark="JUQCS",
+            variants=(MemoryVariant.SMALL, MemoryVariant.LARGE),
+            power_of_two=True)}
+        return ProcurementEvaluation(
+            mix=make_mix(), references=make_refs(),
+            highscaling_cases=cases,
+            highscaling_references={"JUQCS": 400.0})
+
+    def hs_commit(self, runtime=380.0, variant=MemoryVariant.LARGE):
+        return {"JUQCS": HighScalingCommitment(
+            benchmark="JUQCS", variant=variant, runtime=runtime)}
+
+    def test_valid_proposal_scores(self):
+        ev = self.make_eval()
+        score = ev.score(make_proposal(), self.hs_commit())
+        assert score.valid
+        assert score.value_for_money > 0
+        assert score.mean_highscaling_ratio == pytest.approx(380 / 400)
+
+    def test_missing_highscaling_commitment_flagged(self):
+        ev = self.make_eval()
+        score = ev.score(make_proposal(), {})
+        assert not score.valid
+        assert any("High-Scaling" in v.rule for v in score.violations)
+
+    def test_missing_base_commitment_flagged(self):
+        ev = self.make_eval()
+        prop = SystemProposal(name="partial", system=jupiter_booster_model())
+        prop.commit("GROMACS", 4, 100.0)
+        score = ev.score(prop, self.hs_commit())
+        assert not score.valid
+
+    def test_selection_prefers_better_highscaling(self):
+        ev = self.make_eval()
+        a = (make_proposal("a"), self.hs_commit(runtime=500.0))
+        b = (make_proposal("b"), self.hs_commit(runtime=300.0))
+        ranked = ev.select([a, b])
+        assert ranked[0].proposal == "b"
+
+    def test_invalid_proposals_rank_last(self):
+        ev = self.make_eval()
+        good = (make_proposal("good", speedup=1.1), self.hs_commit())
+        broken = (make_proposal("broken", speedup=10.0), {})
+        ranked = ev.select([good, broken])
+        assert ranked[0].proposal == "good"
+        assert not ranked[1].valid
+
+    def test_combined_score_weight_validated(self):
+        ev = self.make_eval()
+        score = ev.score(make_proposal(), self.hs_commit())
+        with pytest.raises(ValueError):
+            score.combined_score(highscaling_weight=1.5)
+
+    def test_missing_hs_reference_rejected(self):
+        with pytest.raises(ValueError):
+            ProcurementEvaluation(
+                mix=make_mix(), references=make_refs(),
+                highscaling_cases={"JUQCS": HighScalingCase(
+                    benchmark="JUQCS", variants=(MemoryVariant.LARGE,))},
+                highscaling_references={})

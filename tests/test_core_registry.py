@@ -1,0 +1,122 @@
+"""Tests for the suite registry against the paper's Tables I and II."""
+
+import pytest
+
+from repro.core import (
+    BENCHMARKS,
+    Category,
+    Dwarf,
+    Target,
+    application_benchmarks,
+    by_category,
+    get_info,
+    high_scaling_benchmarks,
+    procurement_benchmarks,
+    synthetic_benchmarks,
+)
+from repro.core.variants import MemoryVariant
+
+
+class TestSuiteComposition:
+    def test_23_benchmarks_total(self):
+        assert len(BENCHMARKS) == 23
+
+    def test_16_applications_7_synthetics(self):
+        assert len(application_benchmarks()) == 16
+        assert len(synthetic_benchmarks()) == 7
+
+    def test_5_high_scaling(self):
+        names = {b.name for b in high_scaling_benchmarks()}
+        assert names == {"Arbor", "Chroma-QCD", "JUQCS", "nekRS", "PIConGPU"}
+
+    def test_12_used_in_procurement(self):
+        """Sec. IV: 'the number of application benchmarks was reduced
+        to 12'."""
+        assert len(procurement_benchmarks()) == 12
+
+    def test_unused_are_the_starred_rows(self):
+        unused = {b.name for b in application_benchmarks()
+                  if not b.used_in_procurement}
+        assert unused == {"Amber", "ParFlow", "SOMA", "ResNet"}
+
+    def test_unique_names(self):
+        names = [b.name for b in BENCHMARKS]
+        assert len(names) == len(set(names))
+
+
+class TestTable2Details:
+    def test_reference_node_counts(self):
+        assert get_info("Arbor").base_nodes == (8,)
+        assert get_info("GROMACS").base_nodes == (3, 128)
+        assert get_info("ICON").base_nodes == (120, 300)
+        assert get_info("Megatron-LM").base_nodes == (96,)
+        assert get_info("Amber").base_nodes == (1,)
+
+    def test_high_scaling_nodes_and_variants(self):
+        arbor = get_info("Arbor")
+        assert arbor.highscale_nodes == 642
+        assert len(arbor.variants) == 4  # T,S,M,L
+        chroma = get_info("Chroma-QCD")
+        assert chroma.highscale_nodes == 512  # power-of-two constraint
+        assert MemoryVariant.TINY not in chroma.variants
+        juqcs = get_info("JUQCS")
+        assert set(juqcs.variants) == {MemoryVariant.SMALL, MemoryVariant.LARGE}
+        assert get_info("PIConGPU").highscale_nodes == 640  # 3D decomposition
+
+    def test_cpu_only_benchmarks(self):
+        """NAStJA and DynQCD are the CPU-only applications."""
+        cpu_only = {b.name for b in application_benchmarks() if b.is_cpu_only}
+        assert cpu_only == {"NAStJA", "DynQCD"}
+
+    def test_msa_benchmark(self):
+        assert Target.MSA in get_info("JUQCS").targets
+
+    def test_icon_touches_storage(self):
+        """ICON's multi-TB input makes it an I/O test too (Sec. IV-A1b)."""
+        assert Target.STORAGE in get_info("ICON").targets
+
+    def test_ai_benchmarks_use_pytorch_or_tensorflow(self):
+        for name in ("MMoCLIP", "Megatron-LM"):
+            assert "PyTorch" in get_info(name).libraries
+        assert "TensorFlow" in get_info("ResNet").libraries
+
+
+class TestTable1Dwarfs:
+    @pytest.mark.parametrize("name,dwarf", [
+        ("Chroma-QCD", Dwarf.SPARSE_LA),
+        ("JUQCS", Dwarf.DENSE_LA),
+        ("ICON", Dwarf.STRUCTURED_GRID),
+        ("GROMACS", Dwarf.PARTICLE),
+        ("Quantum Espresso", Dwarf.SPECTRAL),
+        ("Graph500", Dwarf.GRAPH_TRAVERSAL),
+        ("HPL", Dwarf.DENSE_LA),
+        ("HPCG", Dwarf.SPARSE_LA),
+        ("IOR", Dwarf.IO),
+        ("STREAM", Dwarf.MEMORY),
+        ("nekRS", Dwarf.UNSTRUCTURED_GRID),
+        ("NAStJA", Dwarf.MONTE_CARLO),
+    ])
+    def test_classification(self, name, dwarf):
+        assert dwarf in get_info(name).dwarfs
+
+    def test_every_benchmark_has_a_dwarf(self):
+        assert all(b.dwarfs for b in BENCHMARKS)
+
+    def test_every_benchmark_has_domain_language_license(self):
+        for b in BENCHMARKS:
+            assert b.domain and b.languages and b.license
+
+
+class TestLookups:
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_info("LINPACK-3000")
+
+    def test_by_category_order_preserved(self):
+        base = by_category(Category.BASE)
+        names = [b.name for b in base]
+        assert names.index("Arbor") < names.index("NAStJA")
+
+    def test_reference_nodes_property(self):
+        assert get_info("ICON").reference_nodes == 120
+        assert get_info("LinkTest").reference_nodes == 936  # "all" nodes

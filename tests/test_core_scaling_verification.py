@@ -1,0 +1,198 @@
+"""Tests for scaling studies, the verification framework, and the
+Fig.-1 creation pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CHECKLIST,
+    ExactVerifier,
+    FrameworkVerifier,
+    ModelVerifier,
+    ScalingPoint,
+    ToleranceVerifier,
+    VerificationMethod,
+    analyse_workloads,
+    creation_pipeline,
+    prepare_benchmark,
+    scaled_node_counts,
+    select_applications,
+    strong_scaling,
+    weak_scaling,
+)
+
+
+class TestScaledNodeCounts:
+    def test_default_factors(self):
+        assert scaled_node_counts(8) == [4, 6, 8, 12, 16]
+
+    def test_power_of_two_rounds_down(self):
+        """The footnote rule: closest smaller compatible count."""
+        counts = scaled_node_counts(8, power_of_two=True)
+        assert all((n & (n - 1)) == 0 for n in counts)
+        assert 16 in counts and 4 in counts
+
+    def test_minimum_respected(self):
+        assert min(scaled_node_counts(1)) == 1
+
+    def test_duplicates_removed(self):
+        counts = scaled_node_counts(2)
+        assert len(counts) == len(set(counts))
+
+
+class TestStrongScaling:
+    @staticmethod
+    def amdahl(serial=0.05, t1=800.0):
+        return lambda nodes: t1 * (serial + (1 - serial) / nodes)
+
+    def test_reference_at_unity(self):
+        res = strong_scaling("toy", self.amdahl(), reference_nodes=8)
+        rel = dict()
+        for x, y in res.relative():
+            rel[x] = y
+        assert rel[1.0] == pytest.approx(1.0)
+
+    def test_arbor_like_curve_shape(self):
+        """Arbor's published points: 498 s @ 8 -> 663 @ 4, 332 @ 12,
+        250 @ 16 (nearly perfect strong scaling).  An Amdahl curve with a
+        tiny serial share shows the same shape."""
+        res = strong_scaling("Arbor", self.amdahl(serial=0.01, t1=3900),
+                             reference_nodes=8)
+        ref = res.reference.runtime
+        by_nodes = {p.nodes: p.runtime for p in res.points}
+        assert by_nodes[4] > ref > by_nodes[12] > by_nodes[16]
+        assert res.monotone_decreasing()
+
+    def test_efficiency_below_one(self):
+        res = strong_scaling("toy", self.amdahl(serial=0.2),
+                             reference_nodes=8)
+        p16 = next(p for p in res.points if p.nodes == 16)
+        assert 0 < res.efficiency(p16) < 1.0
+
+    def test_invalid_point(self):
+        with pytest.raises(ValueError):
+            ScalingPoint(nodes=0, runtime=1.0)
+        with pytest.raises(ValueError):
+            ScalingPoint(nodes=1, runtime=0.0)
+
+
+class TestWeakScaling:
+    def test_perfect_weak_scaling(self):
+        res = weak_scaling("toy", lambda n: 100.0, [1, 4, 16, 64])
+        assert all(eff == pytest.approx(1.0) for _, eff in res.efficiency())
+
+    def test_degrading_efficiency(self):
+        res = weak_scaling("toy", lambda n: 100.0 * (1 + 0.05 * np.log2(n)),
+                           [1, 16, 256])
+        effs = [eff for _, eff in res.efficiency()]
+        assert effs[0] == pytest.approx(1.0)
+        assert effs[-1] < effs[1] < effs[0]
+
+    def test_efficiency_at(self):
+        res = weak_scaling("toy", lambda n: 100.0 + n, [1, 2])
+        assert res.efficiency_at(2) == pytest.approx(101.0 / 102.0)
+        with pytest.raises(KeyError):
+            res.efficiency_at(99)
+
+    @given(st.lists(st.integers(min_value=1, max_value=1024),
+                    min_size=2, max_size=8, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_first_point_always_unity(self, nodes):
+        res = weak_scaling("toy", lambda n: 50.0 + 0.01 * n, nodes)
+        assert res.efficiency()[0][1] == pytest.approx(1.0)
+
+
+class TestVerifiers:
+    def test_exact_pass_and_fail(self):
+        v = ExactVerifier(expected=np.array([1.0, 2.0]))
+        assert v(np.array([1.0, 2.0])).ok
+        assert not v(np.array([1.0, 2.1])).ok
+        assert v(np.array([1.0, 2.0])).method is VerificationMethod.EXACT
+
+    def test_exact_shape_mismatch(self):
+        v = ExactVerifier(expected=np.zeros(3))
+        assert not v(np.zeros(4)).ok
+
+    def test_tolerance_chroma_style(self):
+        """Base tolerance 1e-10, High-Scaling 1e-8 (Sec. IV-A2b)."""
+        ref = np.array([0.58765432101234])
+        base = ToleranceVerifier(reference=ref, rtol=1e-10)
+        hs = ToleranceVerifier(reference=ref, rtol=1e-8)
+        wiggle = ref * (1 + 5e-9)
+        assert not base(wiggle).ok
+        assert hs(wiggle).ok
+
+    def test_tolerance_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ToleranceVerifier(reference=[1.0], rtol=0.0)
+
+    def test_model_verifier_band(self):
+        v = ModelVerifier(checks={
+            "nusselt": (lambda r: r["nu"], 10.0, 20.0),
+        })
+        assert v({"nu": 15.0}).ok
+        res = v({"nu": 30.0})
+        assert not res.ok
+        assert "nusselt" in res.detail
+
+    def test_framework_required_keys(self):
+        v = FrameworkVerifier(required_keys=("charge", "energy"))
+        assert v({"charge": 0.0, "energy": 1.0}).ok
+        assert not v({"charge": 0.0}).ok
+
+    def test_framework_loss_decrease(self):
+        v = FrameworkVerifier(decreasing_series="loss")
+        good = {"loss": np.linspace(2.0, 0.5, 50)}
+        bad = {"loss": np.linspace(0.5, 2.0, 50)}
+        assert v(good).ok
+        assert not v(bad).ok
+
+    def test_method_strength_ordering(self):
+        """Sec. V-A calls framework-inherent 'arguably the weakest'."""
+        assert VerificationMethod.EXACT.strength < \
+            VerificationMethod.TOLERANCE.strength < \
+            VerificationMethod.MODEL_BASED.strength < \
+            VerificationMethod.FRAMEWORK.strength
+
+
+class TestCreationPipeline:
+    ALLOC = {"Climate": 30.0, "QCD": 25.0, "MD": 20.0, "AI": 15.0,
+             "Niche": 0.5}
+    CANDIDATES = {"ICON": "Climate", "Chroma": "QCD", "GROMACS": "MD",
+                  "Megatron": "AI", "Obscure": "Niche"}
+
+    def test_analysis_normalises(self):
+        shares = analyse_workloads(self.ALLOC)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_analysis_rejects_empty(self):
+        with pytest.raises(ValueError):
+            analyse_workloads({})
+
+    def test_selection_drops_niche_domains(self):
+        shares = analyse_workloads(self.ALLOC)
+        selected = select_applications(shares, self.CANDIDATES)
+        assert "ICON" in selected
+        assert "Obscure" not in selected
+
+    def test_checklist_has_11_points(self):
+        """Sec. III-E: 'a pre-defined checklist with 11 points'."""
+        assert len(CHECKLIST) == 11
+
+    def test_prepare_partial_checklist(self):
+        rec = prepare_benchmark("ICON", completed=["JUBE integration"])
+        assert rec["JUBE integration"] is True
+        assert rec["description created"] is False
+
+    def test_prepare_unknown_item(self):
+        with pytest.raises(ValueError):
+            prepare_benchmark("ICON", completed=["vibe check"])
+
+    def test_full_pipeline_packages_ready_apps(self):
+        state = creation_pipeline(self.ALLOC, self.CANDIDATES)
+        assert state.packaged == sorted(
+            ["ICON", "Chroma", "GROMACS", "Megatron"])
+        assert state.optimisation_rounds == 2
+        assert state.log

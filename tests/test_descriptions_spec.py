@@ -1,0 +1,134 @@
+"""Tests for the normalised descriptions (Sec. III-C) and the
+declarative JUBE spec loader."""
+
+import pytest
+
+from repro.core import SECTIONS, describe, describe_all, load_suite
+from repro.jube import JubeRuntime, SpecError, load_spec
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return load_suite()
+
+
+class TestDescriptions:
+    def test_every_benchmark_has_all_sections(self, suite):
+        """The paper's normalisation: identical structure everywhere."""
+        docs = describe_all(suite)
+        assert len(docs) == 23
+        for name, text in docs.items():
+            for section in SECTIONS:
+                assert f"## {section}" in text, (name, section)
+
+    def test_sections_in_fixed_order(self, suite):
+        text = describe(suite, "nekRS")
+        positions = [text.index(f"## {s}") for s in SECTIONS]
+        assert positions == sorted(positions)
+
+    def test_juqcs_description_content(self, suite):
+        text = describe(suite, "JUQCS")
+        assert "powers of two" in text
+        assert "exact (bit-for-bit" in text
+        assert "S,L" in text
+
+    def test_chroma_rules_present(self, suite):
+        text = describe(suite, "Chroma-QCD")
+        assert "excludes the first HMC update" in text
+        assert "1e-10" in text
+
+    def test_sample_result_attached(self, suite):
+        result = suite.run("nekRS")
+        text = describe(suite, "nekRS", sample=result)
+        assert f"{result.fom_seconds:.3f}" in text
+
+    def test_rate_fom_commitment_language(self, suite):
+        text = describe(suite, "Megatron-LM")
+        assert "dividing the fixed work" in text
+        assert "2e+07" in text
+
+    def test_unused_marker(self, suite):
+        assert "not used" in describe(suite, "Amber")
+        assert "not used" not in describe(suite, "Arbor")
+
+
+class TestSpecLoader:
+    def make_spec(self, **overrides):
+        data = {
+            "name": "toy",
+            "platform": "juwels-booster",
+            "parametersets": [
+                {"name": "p", "parameters": [
+                    {"name": "nodes", "value": [1, 2]},
+                    {"name": "tasks", "value": "$nodes * 4",
+                     "mode": "python"},
+                    {"name": "extra", "value": 1, "tags": ["opt"]},
+                ]},
+            ],
+            "steps": [
+                {"name": "execute", "do": "run"},
+                {"name": "verify", "do": ["check"],
+                 "depends": ["execute"]},
+            ],
+            "tables": [
+                {"name": "result",
+                 "columns": ["nodes", ["fom", "FOM [s]", ".1f"]],
+                 "sort_by": "nodes"},
+            ],
+        }
+        data.update(overrides)
+        actions = {
+            "run": lambda ctx: {"fom": 100.0 / ctx.params["nodes"]},
+            "check": lambda ctx: {"ok": ctx.output("execute", "fom") > 0},
+        }
+        return data, actions
+
+    def test_loads_and_runs(self):
+        data, actions = self.make_spec()
+        spec = load_spec(data, actions)
+        run = JubeRuntime().run(spec)
+        assert len(run.workunits) == 2
+        assert run.ok
+        text = run.render(spec.tables[0])
+        assert "FOM [s]" in text and "100.0" in text and "50.0" in text
+
+    def test_tags_apply(self):
+        data, actions = self.make_spec()
+        spec = load_spec(data, actions)
+        run = JubeRuntime().run(spec, tags=["opt"])
+        assert all(w.params["extra"] == 1 for w in run.workunits)
+        run_plain = JubeRuntime().run(spec)
+        assert all("extra" not in w.params for w in run_plain.workunits)
+
+    def test_python_mode_resolves(self):
+        data, actions = self.make_spec()
+        run = JubeRuntime().run(load_spec(data, actions))
+        tasks = sorted(w.params["tasks"] for w in run.workunits)
+        assert tasks == [4, 8]
+
+    def test_unknown_action_rejected(self):
+        data, actions = self.make_spec()
+        data["steps"][0]["do"] = "launch-missiles"
+        with pytest.raises(SpecError):
+            load_spec(data, actions)
+
+    def test_unknown_platform_rejected(self):
+        data, actions = self.make_spec(platform="summit")
+        with pytest.raises(SpecError):
+            load_spec(data, actions)
+
+    def test_missing_pieces_rejected(self):
+        with pytest.raises(SpecError):
+            load_spec({"steps": [{"name": "x"}]})
+        with pytest.raises(SpecError):
+            load_spec({"name": "toy"})  # no steps
+        with pytest.raises(SpecError):
+            load_spec({"name": "toy", "steps": [{"do": "x"}]},
+                      actions={"x": lambda c: None})
+
+    def test_bad_parameter_rejected(self):
+        data, actions = self.make_spec()
+        data["parametersets"][0]["parameters"].append(
+            {"name": "bad name!", "value": 1})
+        with pytest.raises(SpecError):
+            load_spec(data, actions)

@@ -1,0 +1,239 @@
+"""Tests for the 7 synthetic benchmarks."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synthetic import (
+    Graph500Benchmark,
+    HpcgBenchmark,
+    HplBenchmark,
+    IorBenchmark,
+    LinktestBenchmark,
+    MESSAGE_SIZES,
+    OsuBenchmark,
+    StreamBenchmark,
+    bfs,
+    blocked_lu,
+    build_27pt,
+    build_csr,
+    gpu_stream_model,
+    hpcg_cg,
+    hpl_flops,
+    hpl_residual,
+    ior_functional_run,
+    kronecker_edges,
+    lu_solve,
+    run_stream,
+    symgs,
+    validate_bfs,
+)
+from repro.units import GIGA
+from repro.vmpi import Machine
+
+
+class TestHpl:
+    @given(st.integers(min_value=4, max_value=60),
+           st.integers(min_value=1, max_value=20),
+           st.integers(min_value=0, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_lu_solves_random_systems(self, n, nb, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, n)) + n * np.eye(n)
+        b = rng.normal(size=n)
+        lu, piv = blocked_lu(a, nb=nb)
+        x = lu_solve(lu, piv, b)
+        assert np.allclose(a @ x, b, atol=1e-8)
+
+    def test_blocked_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(40, 40))
+        b = rng.normal(size=40)
+        lu, piv = blocked_lu(a, nb=8)
+        assert np.allclose(lu_solve(lu, piv, b), np.linalg.solve(a, b),
+                           atol=1e-9)
+
+    def test_hpl_residual_criterion(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(100, 100))
+        b = rng.normal(size=100)
+        lu, piv = blocked_lu(a)
+        x = lu_solve(lu, piv, b)
+        assert hpl_residual(a, x, b) < 16.0
+
+    def test_singular_matrix_detected(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            blocked_lu(np.zeros((4, 4)))
+
+    def test_flop_count(self):
+        assert hpl_flops(1000) == pytest.approx(2 / 3 * 1e9, rel=0.01)
+
+    def test_benchmark_real_and_efficiency(self):
+        b = HplBenchmark()
+        assert b.run(nodes=1, real=True, scale=0.4).verified is True
+        res = b.run(nodes=8)
+        assert 0.3 < res.details["hpl_efficiency"] < 1.0
+
+
+class TestHpcg:
+    def test_operator_row_sums(self):
+        """Interior rows sum to 26 - 26 = 0; boundary rows are positive."""
+        a = build_27pt(4)
+        sums = np.asarray(a.sum(axis=1)).ravel()
+        interior = sums.reshape(4, 4, 4)[1:-1, 1:-1, 1:-1]
+        assert np.allclose(interior, 0.0)
+        assert sums[0] > 0
+
+    def test_operator_symmetric(self):
+        a = build_27pt(4)
+        assert (a - a.T).nnz == 0
+
+    def test_symgs_reduces_residual(self):
+        a = build_27pt(5)
+        rng = np.random.default_rng(2)
+        b = rng.normal(size=a.shape[0])
+        x = symgs(a, b)
+        assert np.linalg.norm(b - a @ x) < np.linalg.norm(b)
+
+    def test_cg_converges_monotonically(self):
+        a = build_27pt(8)
+        rng = np.random.default_rng(3)
+        b = rng.normal(size=a.shape[0])
+        _, history = hpcg_cg(a, b, iterations=20)
+        assert history[-1] < 1e-6
+        assert all(h2 <= h1 * 1.0001 for h1, h2 in zip(history, history[1:]))
+
+    def test_benchmark_real(self):
+        assert HpcgBenchmark().run(nodes=1, real=True,
+                                   scale=0.5).verified is True
+
+
+class TestStream:
+    def test_kernels_verified(self):
+        res = run_stream(n=200_000, repeats=2)
+        assert res.verified
+        assert all(bw > 1e8 for bw in res.bandwidth.values())
+
+    def test_gpu_model_near_hbm_peak(self):
+        m = Machine.booster(1)
+        model = gpu_stream_model(m)
+        assert model["triad"] == pytest.approx(1555e9 * 0.87)
+
+    def test_too_small_array_rejected(self):
+        with pytest.raises(ValueError):
+            run_stream(n=10)
+
+    def test_benchmark(self):
+        res = StreamBenchmark().run(nodes=1, real=True, scale=0.2)
+        assert res.verified is True
+
+
+class TestGraph500:
+    def test_generator_edge_count(self):
+        edges = kronecker_edges(scale=8)
+        assert edges.shape == (2, 16 << 8)
+
+    def test_bfs_validates_on_kronecker(self):
+        s = 10
+        adj = build_csr(kronecker_edges(s), 1 << s)
+        res = bfs(adj, root=0)
+        assert validate_bfs(adj, 0, res)
+        assert res.edges_traversed > 0
+
+    def test_bfs_levels_on_path_graph(self):
+        edges = np.array([[0, 1, 2, 3], [1, 2, 3, 4]])
+        adj = build_csr(edges, 5)
+        res = bfs(adj, root=0)
+        assert list(res.level) == [0, 1, 2, 3, 4]
+        assert res.levels == 4
+
+    def test_validation_catches_bad_parent(self):
+        edges = np.array([[0, 1], [1, 2]])
+        adj = build_csr(edges, 3)
+        res = bfs(adj, 0)
+        res.parent[2] = 0  # edge 0-2 does not exist
+        assert not validate_bfs(adj, 0, res)
+
+    def test_bfs_root_bounds(self):
+        adj = build_csr(np.array([[0], [1]]), 2)
+        with pytest.raises(ValueError):
+            bfs(adj, 5)
+
+    def test_benchmark_real(self):
+        res = Graph500Benchmark().run(nodes=1, real=True, scale=0.6)
+        assert res.verified is True
+
+
+class TestIor:
+    def test_easy_no_conflicts(self):
+        stats = ior_functional_run(nranks=4, variant="easy")
+        assert stats["errors"] == 0
+        assert stats["lock_conflicts"] == 0
+
+    def test_hard_has_conflicts(self):
+        stats = ior_functional_run(nranks=4, variant="hard")
+        assert stats["errors"] == 0
+        assert stats["lock_conflicts"] > 0
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            ior_functional_run(2, "medium")
+        with pytest.raises(ValueError):
+            IorBenchmark("medium")
+
+    def test_easy_model_bandwidth_beats_hard(self):
+        easy = IorBenchmark("easy").run(nodes=128)
+        hard = IorBenchmark("hard").run(nodes=128)
+        assert easy.details["write_bandwidth"] > \
+            2 * hard.details["write_bandwidth"]
+
+    def test_hard_node_minimum(self):
+        """Table II: the hard variant needs > 64 nodes."""
+        with pytest.raises(ValueError):
+            IorBenchmark("hard").run(nodes=32)
+
+
+class TestLinktest:
+    def test_bisection_capped_by_topology(self):
+        res = LinktestBenchmark().run(nodes=96)
+        assert res.details["aggregate_bandwidth"] <= \
+            res.details["analytic_bisection"] * 1.0001
+
+    def test_intra_cell_full_bandwidth(self):
+        res = LinktestBenchmark().run(nodes=16)
+        # inside one cell the cut is injection-limited, no taper
+        per_node = res.details["aggregate_bandwidth"] / 8  # half = 8 nodes
+        assert per_node > 50e9
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            LinktestBenchmark().run(nodes=1)
+
+    def test_larger_jobs_more_aggregate(self):
+        small = LinktestBenchmark().run(nodes=96)
+        large = LinktestBenchmark().run(nodes=384)
+        assert large.details["aggregate_bandwidth"] > \
+            small.details["aggregate_bandwidth"]
+
+
+class TestOsu:
+    def test_real_payload_integrity(self):
+        res = OsuBenchmark().run(nodes=2, real=True, scale=1.0)
+        assert res.verified is True
+
+    def test_latency_vs_bandwidth_regimes(self):
+        b = OsuBenchmark()
+        sweep = b.sweep(inter_node=True)
+        t_small = sweep[0][1]
+        t_big = sweep[-1][1]
+        assert t_small == pytest.approx(5e-6, rel=0.1)  # HDR latency
+        assert t_big > 100 * t_small                    # bandwidth regime
+
+    def test_nvlink_beats_ib(self):
+        b = OsuBenchmark()
+        intra = dict(b.sweep(inter_node=False))
+        inter = dict(b.sweep(inter_node=True))
+        big = MESSAGE_SIZES[-1]
+        assert intra[big] < inter[big] / 3

@@ -1,0 +1,77 @@
+"""Tests for unit helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestFormatting:
+    def test_fmt_si_picks_prefix(self):
+        assert units.fmt_si(1e18, "FLOP/s") == "1 EFLOP/s"
+        assert units.fmt_si(50e15, "FLOP/s") == "50 PFLOP/s"
+        assert units.fmt_si(9.7e12, "FLOP/s").endswith("TFLOP/s")
+
+    def test_fmt_si_small_values_have_no_prefix(self):
+        assert units.fmt_si(12.0, "s") == "12 s"
+
+    def test_fmt_bytes_binary_prefixes(self):
+        assert units.fmt_bytes(64 * units.TIB) == "64 TiB"
+        assert units.fmt_bytes(0.5 * units.PIB) == "512 TiB"
+        assert units.fmt_bytes(512) == "512 B"
+
+    def test_fmt_seconds_ranges(self):
+        assert units.fmt_seconds(0) == "0 s"
+        assert units.fmt_seconds(498) == "498 s"
+        assert "ms" in units.fmt_seconds(0.002)
+        assert "us" in units.fmt_seconds(2e-5)
+        assert "ns" in units.fmt_seconds(3e-8)
+        assert "min" in units.fmt_seconds(1200)
+        assert "h" in units.fmt_seconds(4 * 3600)
+
+    def test_fmt_seconds_negative(self):
+        assert units.fmt_seconds(-3.0) == "-3 s"
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize("text,expected", [
+        ("16 MiB", 16 * units.MIB),
+        ("4KiB", 4 * units.KIB),
+        ("4 kb", 4e3),
+        ("1.5GiB", 1.5 * units.GIB),
+        ("512", 512.0),
+        ("2e3 B", 2000.0),
+    ])
+    def test_examples(self, text, expected):
+        assert units.parse_bytes(text) == pytest.approx(expected)
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            units.parse_bytes("3 XB")
+
+    @given(st.floats(min_value=0.001, max_value=1e6,
+                     allow_nan=False, allow_infinity=False))
+    def test_roundtrip_binary(self, mib):
+        text = f"{mib} MiB"
+        assert units.parse_bytes(text) == pytest.approx(mib * units.MIB)
+
+
+class TestJuqcsMemoryLaw:
+    """The paper's JUQCS sizes must come out of the unit constants."""
+
+    @pytest.mark.parametrize("qubits,expected_bytes", [
+        (36, units.TIB),            # Base: 1 TiB
+        (41, 32 * units.TIB),       # High-Scaling small
+        (42, 64 * units.TIB),       # High-Scaling large
+        (45, 0.5 * units.PIB),      # "a little over 0.5 PiB" for n=45
+    ])
+    def test_state_vector_sizes(self, qubits, expected_bytes):
+        nbytes = units.BYTES_PER_COMPLEX128 * 2.0 ** qubits
+        assert nbytes == pytest.approx(expected_bytes)
+
+    def test_prefix_ladder_consistent(self):
+        assert units.MIB == units.KIB ** 2
+        assert math.isclose(units.PIB / units.TIB, 1024.0)
