@@ -1,9 +1,12 @@
 """The Fig. 1 suite-creation pipeline: workload analysis -> selection ->
-preparation (11-point checklist) -> optimisation loop -> packaging."""
+preparation (11-point checklist) -> optimisation loop -> packaging --
+plus the full-suite execution through the parallel + incremental
+engine, reporting its structured run journal."""
 
 from conftest import once
 
 from repro.core import CHECKLIST, creation_pipeline
+from repro.exec import ExecutionEngine, MemoryCache
 
 ALLOCATIONS = {
     "Climate": 22.0, "QCD": 18.0, "MD": 16.0, "Neuroscience": 9.0,
@@ -30,3 +33,27 @@ def test_pipeline(benchmark):
     assert "HypeCode2000" not in state.packaged  # niche domain dropped
     assert state.optimisation_rounds == 2
     assert abs(sum(state.workload_analysis.values()) - 1.0) < 1e-12
+
+
+def test_engine_full_suite(benchmark, suite):
+    """Cold full-suite run through the 8-worker engine, then a warm
+    rerun that must execute nothing; prints the run journal."""
+    cache = MemoryCache()
+
+    def cold_then_warm():
+        suite.engine = ExecutionEngine(workers=8, cache=cache)
+        try:
+            cold = suite.run_all()
+            warm = suite.run_all()
+            return cold, warm, suite.engine.journal
+        finally:
+            suite.engine = None
+
+    cold, warm, journal = once(benchmark, cold_then_warm)
+    print("\n" + journal.summary())
+    stats = journal.stats()
+    assert [r.fom_seconds for r in cold] == [r.fom_seconds for r in warm]
+    assert stats.tasks == 2 * len(suite.names())
+    assert stats.cache_hits == len(suite.names())  # warm pass: all hits
+    assert cache.stats.misses == len(suite.names())
+    assert stats.errors == 0

@@ -5,9 +5,15 @@ Sub-commands::
     jubench list                       # suite overview (Table II style)
     jubench table1 | table2            # reproduce the paper's tables
     jubench run NAME [--nodes N] [--variant V] [--real] [--scale S]
+    jubench suite [--benchmarks A,B]   # run the whole registered suite
     jubench fig2 [--apps A,B,...]      # Base strong-scaling study
     jubench fig3 [--nodes 8,16,...]    # High-Scaling weak-scaling study
     jubench procurement                # demo TCO evaluation of proposals
+
+Execution commands accept engine options: ``--workers N`` fans
+independent workunits out in parallel, ``--cache-dir DIR`` memoises
+results on disk across invocations (``--no-cache`` disables caching),
+and ``--journal`` prints the structured run journal afterwards.
 """
 
 from __future__ import annotations
@@ -24,7 +30,50 @@ from .core import (
     get_info,
     load_suite,
 )
+from .exec import DiskCache, ExecutionEngine, MemoryCache
 from .units import fmt_seconds
+
+
+def _workers(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """The shared execution-engine options of run-style commands."""
+    group = parser.add_argument_group("execution engine")
+    group.add_argument("--workers", type=_workers, default=1,
+                       help="parallel workers for independent workunits")
+    group.add_argument("--backend", choices=["serial", "thread", "process"],
+                       default="thread", help="pool backend (default thread)")
+    group.add_argument("--cache-dir", default=None,
+                       help="persist the result cache as JSON in this "
+                            "directory (reused across invocations)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="disable result memoisation")
+    group.add_argument("--journal", action="store_true",
+                       help="print the per-task run journal at the end")
+
+
+def _make_engine(args: argparse.Namespace) -> ExecutionEngine | None:
+    """Build the execution engine an exec-style command asked for."""
+    if not hasattr(args, "workers"):
+        return None
+    cache = None
+    if not args.no_cache:
+        cache = DiskCache(args.cache_dir) if args.cache_dir \
+            else MemoryCache()
+    return ExecutionEngine(workers=args.workers, backend=args.backend,
+                           cache=cache)
+
+
+def _configured_suite(args: argparse.Namespace):
+    """The default suite wired to this invocation's engine (if any)."""
+    suite = load_suite()
+    suite.engine = _make_engine(args)
+    return suite
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -46,7 +95,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    suite = load_suite()
+    suite = _configured_suite(args)
     variant = MemoryVariant.from_label(args.variant) if args.variant else None
     result = suite.run(args.benchmark, args.nodes, variant=variant,
                        real=args.real, scale=args.scale)
@@ -67,10 +116,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.verified in (True, None) else 1
 
 
+def _cmd_suite(args: argparse.Namespace) -> int:
+    suite = _configured_suite(args)
+    names = suite.names()
+    if args.benchmarks:
+        wanted = {b.strip() for b in args.benchmarks.split(",")}
+        unknown = sorted(wanted - set(names))
+        if unknown:
+            raise SystemExit(
+                f"jubench suite: unknown benchmark(s): "
+                f"{', '.join(unknown)}; see 'jubench list'")
+        names = [n for n in names if n in wanted]
+    results = suite.run_all(names, scale=args.scale)
+    print(f"suite run -- {len(results)} benchmarks "
+          f"(workers={args.workers})")
+    for res in results:
+        print(f"  {res.benchmark:<18} {res.nodes:>4} nodes  "
+              f"{fmt_seconds(res.fom_seconds)} "
+              f"({res.fom_seconds:.3f} s time metric)")
+    return 0
+
+
 def _cmd_fig2(args: argparse.Namespace) -> int:
     from .analysis import FIG2_APPS, figure2
 
-    suite = load_suite()
+    suite = _configured_suite(args)
     apps = FIG2_APPS
     if args.apps:
         wanted = {a.strip() for a in args.apps.split(",")}
@@ -82,7 +152,7 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
 def _cmd_fig3(args: argparse.Namespace) -> int:
     from .analysis import figure3
 
-    suite = load_suite()
+    suite = _configured_suite(args)
     nodes = tuple(int(n) for n in args.nodes.split(","))
     print(figure3(suite, nodes).render())
     return 0
@@ -148,16 +218,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--real", action="store_true",
                    help="real (verifying) mode instead of timing mode")
     p.add_argument("--scale", type=float, default=1.0)
+    _add_engine_options(p)
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("suite",
+                       help="run every registered benchmark (parallel + "
+                            "incremental via the execution engine)")
+    p.add_argument("--benchmarks", default="",
+                   help="comma-separated subset (default: all)")
+    p.add_argument("--scale", type=float, default=1.0)
+    _add_engine_options(p)
+    p.set_defaults(fn=_cmd_suite)
 
     p = sub.add_parser("fig2", help="Base strong-scaling study (Fig. 2)")
     p.add_argument("--apps", default="",
                    help="comma-separated subset of Base apps")
+    _add_engine_options(p)
     p.set_defaults(fn=_cmd_fig2)
 
     p = sub.add_parser("fig3", help="High-Scaling weak scaling (Fig. 3)")
     p.add_argument("--nodes", default="8,16,32,64,128",
                    help="comma-separated node counts")
+    _add_engine_options(p)
     p.set_defaults(fn=_cmd_fig3)
 
     p = sub.add_parser("describe",
@@ -176,7 +258,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    suite = load_suite()
+    try:
+        return args.fn(args)
+    finally:
+        engine = suite.engine
+        suite.engine = None  # the default suite is shared; detach
+        if engine is not None and getattr(args, "journal", False):
+            print(engine.journal.summary())
 
 
 if __name__ == "__main__":  # pragma: no cover

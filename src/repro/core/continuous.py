@@ -24,6 +24,8 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..exec.cache import result_key
+from ..exec.engine import ExecutionEngine, WorkItem
 from .benchmark import BenchmarkResult
 
 
@@ -93,30 +95,69 @@ class ContinuousBenchmarking:
     ``suite.run``, in tests a machine-degrading closure.  A benchmark
     regresses when it is slower than baseline by more than
     ``sigma`` times its recorded noise plus ``slack``.
+
+    With an :class:`~repro.exec.engine.ExecutionEngine` the interval's
+    benchmarks run concurrently, and -- the exaCB incremental property
+    -- re-running a benchmark whose *fingerprint* (system/software
+    state tag, e.g. a maintenance id) is unchanged reuses the cached
+    FOM instead of executing; only changed benchmarks re-run.
     """
 
     def __init__(self, baseline: Baseline,
                  runner: Callable[[str], BenchmarkResult],
-                 sigma: float = 3.0, slack: float = 0.02):
+                 sigma: float = 3.0, slack: float = 0.02,
+                 engine: ExecutionEngine | None = None,
+                 fingerprint: str = ""):
         if sigma <= 0 or slack < 0:
             raise ValueError("invalid alert thresholds")
         self.baseline = baseline
         self.runner = runner
         self.sigma = sigma
         self.slack = slack
+        self.engine = engine
+        #: current system-state tag; change it (``refingerprint``) after
+        #: a maintenance to force re-execution of cached benchmarks
+        self.fingerprint = fingerprint
         self.history: list[CampaignReport] = []
+
+    # The process engine backend pickles ``fn=self._measure_fom``; the
+    # engine itself (pools, locks) must not cross the boundary.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["engine"] = None
+        return state
+
+    def refingerprint(self, fingerprint: str) -> None:
+        """Declare a new system state (invalidates incremental reuse)."""
+        self.fingerprint = fingerprint
+
+    def _measure_fom(self, name: str) -> float:
+        return float(self.runner(name).fom_seconds)
+
+    def _measure_all(self, names: list[str]) -> dict[str, float]:
+        """FOMs for an interval, via the engine when configured."""
+        if self.engine is None:
+            return {name: self._measure_fom(name) for name in names}
+        items = [WorkItem(fn=self._measure_fom, args=(name,),
+                          key=result_key(
+                              f"continuous:{name}",
+                              {"fingerprint": self.fingerprint}),
+                          label=f"continuous:{name}")
+                 for name in names]
+        return dict(zip(names, self.engine.run(items)))
 
     def run_interval(self, benchmarks: list[str] | None = None
                      ) -> CampaignReport:
-        """One interval: run, compare, record."""
+        """One interval: run (or reuse), compare, record."""
         names = benchmarks if benchmarks is not None \
             else sorted(self.baseline.foms)
-        report = CampaignReport(interval=len(self.history))
         for name in names:
             if name not in self.baseline.foms:
                 raise KeyError(f"no baseline for benchmark {name!r}")
-            result = self.runner(name)
-            fom = float(result.fom_seconds)
+        report = CampaignReport(interval=len(self.history))
+        foms = self._measure_all(names)
+        for name in names:
+            fom = foms[name]
             report.results[name] = fom
             ref = self.baseline.foms[name]
             threshold = ref * (1.0 + self.sigma * self.baseline.noise[name]

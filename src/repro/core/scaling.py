@@ -16,6 +16,15 @@ from typing import Callable, Iterable, Sequence
 #: The standard Fig. 2 multipliers around the reference node count.
 FIG2_FACTORS: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 2.0)
 
+#: Maps ``run`` over node counts; overridable to fan points out in
+#: parallel (``repro.exec``).  Must return runtimes in node-count order.
+PointMapper = Callable[[Callable[[int], float], Sequence[int]], "list[float]"]
+
+
+def _sequential_map(run: Callable[[int], float],
+                    counts: Sequence[int]) -> list[float]:
+    return [run(n) for n in counts]
+
 
 @dataclass(frozen=True)
 class ScalingPoint:
@@ -103,16 +112,22 @@ def strong_scaling(benchmark: str,
                    run: Callable[[int], float],
                    reference_nodes: int,
                    factors: Sequence[float] = FIG2_FACTORS,
-                   power_of_two: bool = False) -> StrongScalingResult:
+                   power_of_two: bool = False,
+                   mapper: PointMapper | None = None) -> StrongScalingResult:
     """Run a strong-scaling study: same workload, varying node counts.
 
     ``run(nodes)`` must return the runtime (time-metric seconds).
+    ``mapper`` (optional) evaluates the node sweep, e.g. in parallel;
+    results are assembled in node-count order either way.
     """
     counts = scaled_node_counts(reference_nodes, factors,
                                 power_of_two=power_of_two)
     if reference_nodes not in counts:
         counts.append(reference_nodes)
-    points = [ScalingPoint(nodes=n, runtime=run(n)) for n in sorted(counts)]
+    ordered = sorted(counts)
+    runtimes = (mapper or _sequential_map)(run, ordered)
+    points = [ScalingPoint(nodes=n, runtime=t)
+              for n, t in zip(ordered, runtimes)]
     ref = next(p for p in points if p.nodes == reference_nodes)
     return StrongScalingResult(benchmark=benchmark, reference=ref,
                                points=points)
@@ -120,12 +135,16 @@ def strong_scaling(benchmark: str,
 
 def weak_scaling(benchmark: str,
                  run: Callable[[int], float],
-                 node_counts: Iterable[int]) -> WeakScalingResult:
+                 node_counts: Iterable[int],
+                 mapper: PointMapper | None = None) -> WeakScalingResult:
     """Run a weak-scaling study: workload grows with the node count.
 
     ``run(nodes)`` must return the runtime for the *proportionally
     enlarged* problem; the callable owns the problem-size rule.
+    ``mapper`` fans the sweep out like in :func:`strong_scaling`.
     """
-    points = [ScalingPoint(nodes=n, runtime=run(n))
-              for n in sorted(set(node_counts))]
+    ordered = sorted(set(node_counts))
+    runtimes = (mapper or _sequential_map)(run, ordered)
+    points = [ScalingPoint(nodes=n, runtime=t)
+              for n, t in zip(ordered, runtimes)]
     return WeakScalingResult(benchmark=benchmark, points=points)

@@ -12,19 +12,60 @@ the suite-pipeline bench and the project-management tests.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable, Sequence
 
+from ..exec.cache import result_key
+from ..exec.engine import ExecutionEngine, WorkItem
 from .benchmark import Benchmark, BenchmarkResult, Category
 from .fom import ReferenceResult
 from .registry import BENCHMARKS, BenchmarkInfo, get_info
 from .scaling import (
+    PointMapper,
     StrongScalingResult,
     WeakScalingResult,
     strong_scaling,
     weak_scaling,
 )
 from .variants import MemoryVariant
+
+
+def encode_result(result: BenchmarkResult) -> dict[str, Any]:
+    """JSON-safe cache representation of a :class:`BenchmarkResult`.
+
+    The SPMD trace is dropped (it is a diagnostic, not a result) and
+    non-JSON detail values are stringified; FOM floats round-trip
+    exactly through JSON.
+    """
+    def safe(v: Any) -> Any:
+        if isinstance(v, (str, int, float, bool)) or v is None:
+            return v
+        if isinstance(v, (list, tuple)):
+            return [safe(x) for x in v]
+        if isinstance(v, dict):
+            return {str(k): safe(x) for k, x in v.items()}
+        return str(v)
+
+    return {
+        "benchmark": result.benchmark,
+        "nodes": result.nodes,
+        "fom_seconds": result.fom_seconds,
+        "variant": result.variant.value if result.variant else None,
+        "verified": result.verified,
+        "verification": result.verification,
+        "details": safe(result.details),
+    }
+
+
+def decode_result(payload: dict[str, Any]) -> BenchmarkResult:
+    """Rebuild a :class:`BenchmarkResult` from its cache representation."""
+    variant = MemoryVariant(payload["variant"]) if payload["variant"] else None
+    return BenchmarkResult(
+        benchmark=payload["benchmark"], nodes=payload["nodes"],
+        fom_seconds=payload["fom_seconds"], variant=variant,
+        verified=payload["verified"], verification=payload["verification"],
+        details=dict(payload["details"]))
 
 
 class JupiterBenchmarkSuite:
@@ -35,9 +76,28 @@ class JupiterBenchmarkSuite:
     instance returned by :func:`load_suite`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, engine: ExecutionEngine | None = None) -> None:
         self._factories: dict[str, Callable[[], Benchmark]] = {}
         self._instances: dict[str, Benchmark] = {}
+        # Registry and instance cache are shared across engine worker
+        # threads; all access goes through this lock.
+        self._lock = threading.RLock()
+        self.engine = engine
+
+    # The process engine backend pickles bound-method workunits
+    # (``fn=suite.run``); locks, live benchmark instances, and the
+    # engine (which owns pools and locks of its own) cannot cross the
+    # process boundary, so only the factory registry travels and the
+    # worker rebuilds the rest lazily.
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {"_factories": dict(self._factories)}
+
+    def __setstate__(self, state: dict) -> None:
+        self._factories = state["_factories"]
+        self._instances = {}
+        self._lock = threading.RLock()
+        self.engine = None
 
     # -- registry ------------------------------------------------------------
 
@@ -45,22 +105,29 @@ class JupiterBenchmarkSuite:
                  factory: Callable[[], Benchmark]) -> None:
         """Register a benchmark implementation for a Table II name."""
         get_info(name)  # validates the name
-        self._factories[name] = factory
+        with self._lock:
+            self._factories[name] = factory
 
     def names(self) -> list[str]:
         """Registered benchmark names in Table II order."""
         ordered = [b.name for b in BENCHMARKS]
-        return [n for n in ordered if n in self._factories]
+        with self._lock:
+            return [n for n in ordered if n in self._factories]
 
     def get(self, name: str) -> Benchmark:
-        """The (cached) benchmark implementation for a name."""
-        if name not in self._factories:
-            raise KeyError(
-                f"benchmark {name!r} has no registered implementation; "
-                f"registered: {', '.join(self.names()) or '(none)'}")
-        if name not in self._instances:
-            self._instances[name] = self._factories[name]()
-        return self._instances[name]
+        """The (cached) benchmark implementation for a name.
+
+        Thread-safe: concurrent callers observe exactly one instance
+        per name (the factory runs at most once).
+        """
+        with self._lock:
+            if name not in self._factories:
+                raise KeyError(
+                    f"benchmark {name!r} has no registered implementation; "
+                    f"registered: {', '.join(self.names()) or '(none)'}")
+            if name not in self._instances:
+                self._instances[name] = self._factories[name]()
+            return self._instances[name]
 
     def infos(self, category: Category | None = None) -> list[BenchmarkInfo]:
         """Metadata of registered benchmarks, optionally by category."""
@@ -80,6 +147,62 @@ class JupiterBenchmarkSuite:
         return self.get(name).run(nodes, variant=variant, scale=scale,
                                   real=real)
 
+    def run_key(self, name: str, nodes: int | None = None, *,
+                variant: MemoryVariant | None = None, scale: float = 1.0,
+                real: bool = False, kind: str = "result") -> str:
+        """Content address of one execution (see ``repro.exec.cache``)."""
+        bench = self.get(name)
+        if nodes is None:
+            nodes = bench.info.reference_nodes
+        params = {"nodes": nodes, "scale": scale, "real": real,
+                  "variant": variant.value if variant else None,
+                  "kind": kind}
+        return result_key(name, params, platform=bench.system().name)
+
+    def run_all(self, names: Sequence[str] | None = None, *,
+                nodes: int | None = None,
+                variant: MemoryVariant | None = None, scale: float = 1.0,
+                real: bool = False) -> list[BenchmarkResult]:
+        """Run a set of benchmarks (default: all registered ones).
+
+        With an :attr:`engine`, independent benchmarks fan out in
+        parallel and memoise through the engine's content-addressed
+        cache; results always come back in the requested order.
+        Without one this is a plain sequential loop.
+        """
+        wanted = list(names) if names is not None else self.names()
+        if self.engine is None:
+            return [self.run(n, nodes, variant=variant, scale=scale,
+                             real=real) for n in wanted]
+        items = [WorkItem(fn=self.run, args=(name, nodes),
+                          kwargs={"variant": variant, "scale": scale,
+                                  "real": real},
+                          key=self.run_key(name, nodes, variant=variant,
+                                           scale=scale, real=real),
+                          label=f"run:{name}", encode=encode_result,
+                          decode=decode_result)
+                 for name in wanted]
+        return self.engine.run(items)
+
+    def _point_mapper(self, name: str, *, study: str,
+                      variant: MemoryVariant | None,
+                      scale: float) -> PointMapper | None:
+        """A scaling-study mapper fanning node points through the engine."""
+        if self.engine is None:
+            return None
+
+        def mapper(run: Callable[[int], float],
+                   counts: Sequence[int]) -> list[float]:
+            items = [WorkItem(fn=run, args=(n,),
+                              key=self.run_key(name, n, variant=variant,
+                                               scale=scale,
+                                               kind=f"{study}-fom"),
+                              label=f"{study}:{name}@{n}")
+                     for n in counts]
+            return self.engine.run(items)
+
+        return mapper
+
     def reference_run(self, name: str, scale: float = 1.0) -> ReferenceResult:
         """Execute on the reference node count; produce the reference
         time metric proposals must beat (Sec. II-C)."""
@@ -98,7 +221,10 @@ class JupiterBenchmarkSuite:
             return self.run(name, nodes, scale=scale).fom_seconds
 
         return strong_scaling(name, run, info.reference_nodes,
-                              power_of_two=power_of_two)
+                              power_of_two=power_of_two,
+                              mapper=self._point_mapper(
+                                  name, study="strong", variant=None,
+                                  scale=scale))
 
     def weak_scaling_study(self, name: str, node_counts: Iterable[int], *,
                            variant: MemoryVariant | None = None,
@@ -114,20 +240,30 @@ class JupiterBenchmarkSuite:
             return self.run(name, nodes, variant=variant,
                             scale=scale).fom_seconds
 
-        return weak_scaling(name, run, node_counts)
+        return weak_scaling(name, run, node_counts,
+                            mapper=self._point_mapper(
+                                name, study="weak", variant=variant,
+                                scale=scale))
 
 
 _DEFAULT: JupiterBenchmarkSuite | None = None
+_DEFAULT_LOCK = threading.Lock()
 
 
 def load_suite() -> JupiterBenchmarkSuite:
-    """The fully populated default suite (imports all implementations)."""
+    """The fully populated default suite (imports all implementations).
+
+    Thread-safe: concurrent first calls populate exactly one instance,
+    and callers never observe a partially registered suite.
+    """
     global _DEFAULT
-    if _DEFAULT is None:
-        _DEFAULT = JupiterBenchmarkSuite()
-        from .. import apps, synthetic  # noqa: F401  (self-registration)
-        apps.register_all(_DEFAULT)
-        synthetic.register_all(_DEFAULT)
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            suite = JupiterBenchmarkSuite()
+            from .. import apps, synthetic  # noqa: F401  (self-registration)
+            apps.register_all(suite)
+            synthetic.register_all(suite)
+            _DEFAULT = suite
     return _DEFAULT
 
 

@@ -1,0 +1,234 @@
+"""Content-addressed result caching (the exaCB incremental property).
+
+A benchmark execution is fully determined by *what* ran (benchmark
+name), *how* it was parameterised (the resolved parameter values),
+*where* it ran (the machine/platform configuration) and *which code*
+ran it (a version tag).  :func:`result_key` hashes exactly that tuple
+into a stable content address; re-running an unchanged benchmark then
+becomes a cache lookup instead of an execution.
+
+Two backends share the :class:`ResultCache` protocol:
+
+* :class:`MemoryCache` -- in-process, stores arbitrary Python values,
+* :class:`DiskCache` -- one JSON document per key, survives processes
+  (values must be JSON-serialisable; callers encode/decode).
+
+Both are thread-safe, keep LRU order, support a ``max_entries`` bound
+with eviction, and count hits/misses/stores/evictions in
+:class:`CacheStats` -- the statistics the incremental-execution tests
+assert on ("a warm rerun performs zero executions").
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Protocol
+
+#: Code-version tag entering every cache key.  Bump on any change that
+#: alters benchmark results, so stale caches can never be replayed.
+CODE_VERSION = "jupiter-repro-1"
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce a value to a canonical JSON-representable form."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(),
+                                                         key=lambda i: str(i[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(_canonical(v) for v in obj)
+    if isinstance(obj, enum.Enum):
+        return _canonical(obj.value)
+    if isinstance(obj, float):
+        # repr() round-trips exactly; json.dumps would too, but be explicit
+        return repr(obj)
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def stable_hash(obj: Any) -> str:
+    """A stable SHA-256 content hash of an arbitrary (JSON-like) value."""
+    blob = json.dumps(_canonical(obj), sort_keys=True,
+                      separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def result_key(benchmark: str, params: dict[str, Any], *,
+               platform: str = "", version: str = CODE_VERSION) -> str:
+    """The content address of one benchmark execution.
+
+    Hashes ``(benchmark name, resolved parameters, machine/platform
+    config, code version tag)``; the benchmark name is kept as a
+    readable prefix (slashes and spaces sanitised for disk backends).
+    """
+    digest = stable_hash({"benchmark": benchmark, "params": params,
+                          "platform": platform, "version": version})
+    slug = "".join(c if c.isalnum() or c in "-._" else "_"
+                   for c in benchmark)
+    return f"{slug}-{digest[:32]}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store/eviction counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "evictions": self.evictions}
+
+
+class ResultCache(Protocol):
+    """What the execution engine requires of a cache backend."""
+
+    stats: CacheStats
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(found, value)``; counts a hit or a miss."""
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a value (counts a store, may evict)."""
+
+    def __len__(self) -> int: ...
+
+    def clear(self) -> None: ...
+
+
+class MemoryCache:
+    """In-process LRU result cache holding arbitrary Python values."""
+
+    def __init__(self, max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._data: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.stats.hits += 1
+                return True, self._data[key]
+            self.stats.misses += 1
+            return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            self.stats.stores += 1
+            while self.max_entries is not None and \
+                    len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._data)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+class DiskCache:
+    """On-disk JSON result cache: one ``<key>.json`` document per entry.
+
+    Values must be JSON-serialisable (the engine's ``encode`` hook
+    converts rich results).  LRU order is tracked in-process and
+    re-seeded from file modification times on startup, so eviction
+    keeps working across runs.
+    """
+
+    def __init__(self, directory: str | Path,
+                 max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        entries = sorted(self.directory.glob("*.json"),
+                         key=lambda p: p.stat().st_mtime)
+        self._order: OrderedDict[str, None] = OrderedDict(
+            (p.stem, None) for p in entries)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        with self._lock:
+            path = self._path(key)
+            if key in self._order or path.exists():
+                try:
+                    value = json.loads(path.read_text())["value"]
+                except (OSError, ValueError, KeyError):
+                    self._order.pop(key, None)
+                    self.stats.misses += 1
+                    return False, None
+                self._order[key] = None
+                self._order.move_to_end(key)
+                self.stats.hits += 1
+                return True, value
+            self.stats.misses += 1
+            return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            payload = json.dumps({"key": key, "value": value}, sort_keys=True)
+            self._path(key).write_text(payload)
+            self._order[key] = None
+            self._order.move_to_end(key)
+            self.stats.stores += 1
+            while self.max_entries is not None and \
+                    len(self._order) > self.max_entries:
+                victim, _ = self._order.popitem(last=False)
+                self._path(victim).unlink(missing_ok=True)
+                self.stats.evictions += 1
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._order)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._order)
+
+    def clear(self) -> None:
+        with self._lock:
+            for key in list(self._order):
+                self._path(key).unlink(missing_ok=True)
+            self._order.clear()
+
+
+def iter_entries(cache: MemoryCache | DiskCache) -> Iterator[str]:
+    """Keys currently held by a cache, LRU-oldest first."""
+    yield from cache.keys()

@@ -1,0 +1,285 @@
+"""The parallel + incremental execution engine.
+
+The suite's unit of work -- run one benchmark, one scaling point, one
+JUBE workunit -- is independent of its siblings, so a run is a batch of
+:class:`WorkItem` thunks.  The engine executes a batch
+
+* **concurrently** on a serial, thread-pool or process-pool backend
+  with a configurable worker count, returning outcomes in *submission
+  order* regardless of completion order (determinism first),
+* **incrementally** through an optional content-addressed
+  :class:`~repro.exec.cache.ResultCache` -- a keyed item whose result
+  is cached is answered without executing (the exaCB property),
+* **fault-bounded**: each item runs inside a guard with configurable
+  retries and a per-attempt timeout, and failures are captured into the
+  :class:`TaskOutcome` instead of aborting the batch.
+
+``map`` is the degrade-gracefully API (callers inspect per-item
+errors); ``run`` is the strict API (first failure re-raises the
+original exception).  Every processed item is journalled.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from .cache import ResultCache
+from .journal import RunJournal, TaskRecord
+
+#: Supported execution backends.
+BACKENDS = ("serial", "thread", "process")
+
+
+class EngineError(RuntimeError):
+    """A strict engine run hit a failed task."""
+
+
+class TaskTimeout(RuntimeError):
+    """A task attempt exceeded its time budget."""
+
+
+@dataclass
+class WorkItem:
+    """One schedulable unit of work.
+
+    ``fn(*args, **kwargs)`` produces the result.  ``key`` (optional)
+    makes the item cacheable; ``encode``/``decode`` translate the
+    result to/from the cache representation (needed for JSON disk
+    caches holding rich objects).  ``retries``/``timeout`` override the
+    engine defaults for this item.  For the process backend ``fn`` and
+    its arguments must be picklable.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    key: str | None = None
+    label: str = ""
+    retries: int | None = None
+    timeout: float | None = None
+    encode: Callable[[Any], Any] | None = None
+    decode: Callable[[Any], Any] | None = None
+
+    def display(self, index: int) -> str:
+        return self.label or getattr(self.fn, "__name__", f"task-{index}")
+
+
+@dataclass
+class TaskOutcome:
+    """What became of one work item (the fault boundary's output)."""
+
+    index: int
+    label: str
+    value: Any = None
+    error: str | None = None
+    exception: BaseException | None = None
+    attempts: int = 0
+    cache: str = "off"        # "hit" | "miss" | "off"
+    started: float = 0.0
+    finished: float = 0.0
+    key: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.finished - self.started)
+
+    def record(self) -> TaskRecord:
+        return TaskRecord(index=self.index, label=self.label,
+                          status="ok" if self.ok else "error",
+                          cache=self.cache, attempts=self.attempts,
+                          started=self.started, finished=self.finished,
+                          key=self.key, error=self.error)
+
+
+@dataclass
+class _Attempt:
+    ok: bool
+    value: Any
+    attempts: int
+    started: float
+    finished: float
+    error: BaseException | None
+
+
+def _run_guarded(fn: Callable[..., Any], args: tuple,
+                 kwargs: dict[str, Any], retries: int,
+                 timeout: float | None) -> _Attempt:
+    """Run one item inside the fault boundary.
+
+    Module-level so the process backend can pickle it.  The timeout is
+    enforced post-hoc on the attempt's wall time (simulated workloads
+    cannot be preempted portably); a too-slow attempt counts as a
+    failure and is retried like any other.
+    """
+    started = time.perf_counter()
+    attempts = 0
+    last: BaseException | None = None
+    while attempts <= retries:
+        attempts += 1
+        t0 = time.perf_counter()
+        try:
+            value = fn(*args, **kwargs)
+            elapsed = time.perf_counter() - t0
+            if timeout is not None and elapsed > timeout:
+                raise TaskTimeout(
+                    f"attempt took {elapsed:.3f} s > timeout {timeout:.3f} s")
+            return _Attempt(ok=True, value=value, attempts=attempts,
+                            started=started,
+                            finished=time.perf_counter(), error=None)
+        except Exception as exc:  # the boundary: capture, maybe retry
+            last = exc
+    return _Attempt(ok=False, value=None, attempts=attempts,
+                    started=started, finished=time.perf_counter(),
+                    error=last)
+
+
+class ExecutionEngine:
+    """Runs batches of work items in parallel with caching and retries.
+
+    ``workers=1`` (or ``backend="serial"``) executes inline in
+    submission order -- the reference semantics every parallel backend
+    must reproduce bit-identically.
+    """
+
+    def __init__(self, workers: int = 1, backend: str = "thread", *,
+                 cache: ResultCache | None = None, retries: int = 0,
+                 timeout: float | None = None,
+                 journal: RunJournal | None = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"choose from {BACKENDS}")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.workers = workers
+        self.backend = "serial" if workers == 1 else backend
+        self.cache = cache
+        self.retries = retries
+        self.timeout = timeout
+        self.journal = journal if journal is not None else RunJournal()
+
+    # -- batch execution ----------------------------------------------------
+
+    def map(self, items: Sequence[WorkItem]) -> list[TaskOutcome]:
+        """Process a batch; outcomes come back in submission order.
+
+        Cached items are answered immediately; the rest run on the
+        configured backend.  Failures are captured per item -- ``map``
+        never raises for a task error.
+        """
+        items = list(items)
+        outcomes: list[TaskOutcome | None] = [None] * len(items)
+        pending: list[int] = []
+        for i, item in enumerate(items):
+            hit = self._lookup(i, item)
+            if hit is not None:
+                outcomes[i] = hit
+            else:
+                pending.append(i)
+
+        if self.backend == "serial":
+            for i in pending:
+                outcomes[i] = self._finish(i, items[i],
+                                           self._attempt_inline(items[i]))
+        else:
+            with self._executor() as pool:
+                futures = {
+                    i: pool.submit(
+                        _run_guarded, items[i].fn, items[i].args,
+                        items[i].kwargs, self._retries_for(items[i]),
+                        self._timeout_for(items[i]))
+                    for i in pending
+                }
+                for i, future in futures.items():
+                    outcomes[i] = self._finish(i, items[i], future.result())
+
+        done = [o for o in outcomes if o is not None]
+        assert len(done) == len(items)
+        return done
+
+    def run(self, items: Sequence[WorkItem]) -> list[Any]:
+        """Strict batch execution: values in submission order.
+
+        The first failed item (by submission order) re-raises its
+        original exception, or :class:`EngineError` if it was lost in
+        transit (process backend edge cases).
+        """
+        outcomes = self.map(items)
+        for outcome in outcomes:
+            if not outcome.ok:
+                if outcome.exception is not None:
+                    raise outcome.exception
+                raise EngineError(
+                    f"task {outcome.label!r} failed: {outcome.error}")
+        return [o.value for o in outcomes]
+
+    # -- helpers ------------------------------------------------------------
+
+    def _executor(self) -> Executor:
+        if self.backend == "process":
+            return ProcessPoolExecutor(max_workers=self.workers)
+        return ThreadPoolExecutor(max_workers=self.workers,
+                                  thread_name_prefix="repro-exec")
+
+    def _retries_for(self, item: WorkItem) -> int:
+        return self.retries if item.retries is None else item.retries
+
+    def _timeout_for(self, item: WorkItem) -> float | None:
+        return self.timeout if item.timeout is None else item.timeout
+
+    def _attempt_inline(self, item: WorkItem) -> _Attempt:
+        return _run_guarded(item.fn, item.args, item.kwargs,
+                            self._retries_for(item),
+                            self._timeout_for(item))
+
+    def _lookup(self, index: int, item: WorkItem) -> TaskOutcome | None:
+        """Resolve an item from cache, or None when it must execute."""
+        if self.cache is None or item.key is None:
+            return None
+        found, raw = self.cache.get(item.key)
+        if not found:
+            return None
+        value = item.decode(raw) if item.decode is not None else raw
+        now = time.perf_counter()
+        outcome = TaskOutcome(index=index, label=item.display(index),
+                              value=value, attempts=0, cache="hit",
+                              started=now, finished=now, key=item.key)
+        self.journal.append(outcome.record())
+        return outcome
+
+    def _finish(self, index: int, item: WorkItem,
+                attempt: _Attempt) -> TaskOutcome:
+        """Turn a guarded attempt into an outcome; cache + journal it."""
+        cache_state = "off"
+        if self.cache is not None and item.key is not None:
+            cache_state = "miss"
+            if attempt.ok:
+                value = item.encode(attempt.value) \
+                    if item.encode is not None else attempt.value
+                self.cache.put(item.key, value)
+        error = None
+        if not attempt.ok:
+            exc = attempt.error
+            error = f"{type(exc).__name__}: {exc}"
+        outcome = TaskOutcome(index=index, label=item.display(index),
+                              value=attempt.value, error=error,
+                              exception=attempt.error,
+                              attempts=attempt.attempts, cache=cache_state,
+                              started=attempt.started,
+                              finished=attempt.finished, key=item.key)
+        self.journal.append(outcome.record())
+        return outcome

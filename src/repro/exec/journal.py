@@ -1,0 +1,118 @@
+"""The structured run journal: one record per executed unit of work.
+
+Every task the execution engine processes -- benchmark run, scaling
+point, JUBE workunit -- leaves a :class:`TaskRecord` with timing, cache
+status, retry count and error state.  The journal is the observability
+surface of a suite run: ``jubench ... --journal`` prints it, the
+suite-pipeline bench reports it, and the incremental-execution tests
+assert on its counters (e.g. "a warm rerun executed nothing").
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Outcome bookkeeping of one engine task."""
+
+    index: int
+    label: str
+    status: str               # "ok" | "error"
+    cache: str                # "hit" | "miss" | "off"
+    attempts: int = 1
+    started: float = 0.0      # perf_counter timestamps, run-relative
+    finished: float = 0.0
+    key: str | None = None
+    error: str | None = None
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.finished - self.started)
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+    @property
+    def executed(self) -> bool:
+        """Whether actual work ran (anything but a cache hit)."""
+        return self.cache != "hit"
+
+
+@dataclass
+class JournalStats:
+    """Aggregate counters over a journal's records."""
+
+    tasks: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    retries: int = 0
+    wall_seconds: float = 0.0
+    busy_seconds: float = 0.0
+
+
+class RunJournal:
+    """Thread-safe, append-only record of a run's tasks."""
+
+    def __init__(self) -> None:
+        self._records: list[TaskRecord] = []
+        self._lock = threading.Lock()
+
+    def append(self, record: TaskRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    @property
+    def records(self) -> list[TaskRecord]:
+        """Records in submission-index order (stable across workers)."""
+        with self._lock:
+            return sorted(self._records, key=lambda r: r.index)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def stats(self) -> JournalStats:
+        """Aggregate counters of everything journalled so far."""
+        recs = self.records
+        out = JournalStats(tasks=len(recs))
+        if not recs:
+            return out
+        out.executed = sum(1 for r in recs if r.executed)
+        out.cache_hits = sum(1 for r in recs if r.cache == "hit")
+        out.errors = sum(1 for r in recs if r.status == "error")
+        out.retries = sum(r.retries for r in recs)
+        out.busy_seconds = sum(r.duration for r in recs)
+        out.wall_seconds = max(r.finished for r in recs) - \
+            min(r.started for r in recs)
+        return out
+
+    def summary(self) -> str:
+        """Human-readable journal: per-task lines plus totals."""
+        recs = self.records
+        lines = [f"run journal -- {len(recs)} tasks"]
+        for r in recs:
+            flags = []
+            if r.retries:
+                flags.append(f"retries={r.retries}")
+            if r.error:
+                flags.append(f"error: {r.error}")
+            tail = ("  " + ", ".join(flags)) if flags else ""
+            lines.append(f"  [{r.index:>3}] {r.label:<28} {r.status:<5} "
+                         f"cache={r.cache:<4} {r.duration * 1e3:8.1f} ms"
+                         f"{tail}")
+        s = self.stats()
+        lines.append(f"  executed {s.executed}/{s.tasks}, "
+                     f"cache hits {s.cache_hits}, errors {s.errors}, "
+                     f"retries {s.retries}, "
+                     f"busy {s.busy_seconds:.3f} s over "
+                     f"wall {s.wall_seconds:.3f} s")
+        return "\n".join(lines)

@@ -13,10 +13,12 @@ scheduler so queueing effects are part of the run.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from ..cluster.scheduler import Job, Scheduler
+from ..exec.engine import ExecutionEngine, WorkItem
 from .parameters import ParameterSet, expand
 from .platform import Platform
 from .result import ResultTable, WorkunitRecord
@@ -77,13 +79,39 @@ class RunResult:
 
 
 class JubeRuntime:
-    """Expands and executes :class:`BenchmarkSpec` instances."""
+    """Expands and executes :class:`BenchmarkSpec` instances.
+
+    With an :class:`~repro.exec.engine.ExecutionEngine`, independent
+    workunits fan out across the engine's workers; workunit order and
+    outcomes are identical to the sequential path.  The only semantic
+    difference: with ``keep_going=False`` the sequential path aborts at
+    the first failing workunit, while the engine path finishes the
+    in-flight batch before re-raising that same first-by-order error.
+    """
 
     def __init__(self, env: dict[str, Any] | None = None,
-                 scheduler: Scheduler | None = None):
+                 scheduler: Scheduler | None = None,
+                 engine: ExecutionEngine | None = None):
         #: shared environment passed to every step context
         self.env = env or {}
         self.scheduler = scheduler
+        self.engine = engine
+        # The simulated batch scheduler is a single shared queue; step
+        # submission from engine worker threads is serialised on it.
+        self._scheduler_lock = threading.Lock()
+
+    # The process engine backend pickles ``fn=self._run_workunit``;
+    # the lock and the engine (which owns pools) stay behind, and the
+    # worker gets its own lock over the (copied) scheduler.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_scheduler_lock"]
+        state["engine"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._scheduler_lock = threading.Lock()
 
     def run(self, spec: BenchmarkSpec, tags: Iterable[str] = (),
             keep_going: bool = False) -> RunResult:
@@ -95,23 +123,46 @@ class JubeRuntime:
         tagset = frozenset(tags)
         ordered = step_order(spec.steps)
         combos = expand(spec.all_parametersets(), tagset)
+        if self.engine is None or len(combos) <= 1:
+            results = [self._run_workunit(ordered, params, tagset)
+                       for params in combos]
+        else:
+            items = [WorkItem(fn=self._run_workunit,
+                              args=(ordered, params, tagset),
+                              label=f"{spec.name}[{i}]")
+                     for i, params in enumerate(combos)]
+            results = self.engine.run(items)
         workunits: list[WorkunitRun] = []
-        for params in combos:
-            outputs: dict[str, dict[str, Any]] = {}
-            ctx = StepContext(params=params, results=outputs, tags=tagset,
-                              env=dict(self.env))
-            error: str | None = None
-            try:
-                for step in ordered:
-                    out = self._run_step(step, ctx, params)
-                    outputs.setdefault(step.name, {}).update(out)
-            except StepError as exc:
-                if not keep_going:
-                    raise
-                error = str(exc)
-            workunits.append(WorkunitRun(params=params, outputs=outputs,
-                                         error=error))
+        for run, exc in results:
+            if exc is not None and not keep_going:
+                raise exc
+            workunits.append(run)
         return RunResult(benchmark=spec.name, tags=tagset, workunits=workunits)
+
+    def _run_workunit(self, ordered: list[Step], params: dict[str, Any],
+                      tagset: frozenset[str]
+                      ) -> tuple[WorkunitRun, StepError | None]:
+        """One workunit inside its own fault boundary.
+
+        Returns the (possibly error-carrying) :class:`WorkunitRun`
+        together with the original exception so ``keep_going=False``
+        can re-raise it -- the engine then never sees task failures and
+        sibling workunits always complete.
+        """
+        outputs: dict[str, dict[str, Any]] = {}
+        ctx = StepContext(params=params, results=outputs, tags=tagset,
+                          env=dict(self.env))
+        error: str | None = None
+        exc: StepError | None = None
+        try:
+            for step in ordered:
+                out = self._run_step(step, ctx, params)
+                outputs.setdefault(step.name, {}).update(out)
+        except StepError as caught:
+            error = str(caught)
+            exc = caught
+        return WorkunitRun(params=params, outputs=outputs,
+                           error=error), exc
 
     def _run_step(self, step: Step, ctx: StepContext,
                   params: dict[str, Any]) -> dict[str, Any]:
@@ -129,9 +180,10 @@ class JubeRuntime:
                 return type("R", (), {"seconds": float(fom)})()
             return None
 
-        job = self.scheduler.submit(Job(name=f"{step.name}", nodes=nodes,
-                                        walltime=walltime, run=payload))
-        self.scheduler.drain()
+        with self._scheduler_lock:
+            job = self.scheduler.submit(Job(name=f"{step.name}", nodes=nodes,
+                                            walltime=walltime, run=payload))
+            self.scheduler.drain()
         if job.error is not None:
             raise StepError(f"batch job for step {step.name!r} failed: "
                             f"{job.error}")

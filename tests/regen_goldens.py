@@ -1,0 +1,64 @@
+"""Regenerate the golden snapshots under ``tests/goldens/``.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tests/regen_goldens.py
+
+Only run this when a change *intentionally* shifts paper-facing
+numbers (Table II FOMs, scaling curves); commit the regenerated JSON
+together with an explanation of why the numbers moved.  The golden
+tests (``tests/test_golden_regression.py``) compare against these
+snapshots with a small relative tolerance so incidental float noise
+does not fail them, but any real shift does.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: The strong-scaling curve snapshotted alongside the FOM table.
+SCALING_BENCHMARK = "Arbor"
+
+
+def regenerate() -> dict[str, Path]:
+    from repro.core import load_suite
+
+    suite = load_suite()
+    GOLDEN_DIR.mkdir(exist_ok=True)
+
+    foms = {name: suite.run(name).fom_seconds for name in suite.names()}
+    foms_path = GOLDEN_DIR / "table2_foms.json"
+    foms_path.write_text(json.dumps({
+        "_meta": {
+            "description": "Table II reference-node FOM time metrics "
+                           "(seconds) of every registered benchmark",
+            "regenerate": "PYTHONPATH=src python tests/regen_goldens.py",
+        },
+        "foms": foms,
+    }, indent=2, sort_keys=True) + "\n")
+
+    study = suite.strong_scaling_study(SCALING_BENCHMARK)
+    curve_path = GOLDEN_DIR / "strong_scaling_curve.json"
+    curve_path.write_text(json.dumps({
+        "_meta": {
+            "description": f"Fig. 2 strong-scaling curve of "
+                           f"{SCALING_BENCHMARK} (nodes vs runtime "
+                           f"seconds)",
+            "regenerate": "PYTHONPATH=src python tests/regen_goldens.py",
+        },
+        "benchmark": SCALING_BENCHMARK,
+        "reference_nodes": study.reference.nodes,
+        "points": [[p.nodes, p.runtime] for p in study.points],
+    }, indent=2, sort_keys=True) + "\n")
+
+    return {"foms": foms_path, "curve": curve_path}
+
+
+if __name__ == "__main__":
+    for kind, path in regenerate().items():
+        print(f"wrote {kind}: {path}")
+    sys.exit(0)

@@ -1,0 +1,133 @@
+"""Fault-boundary tests: a benchmark stub that fails N times then
+succeeds exercises the retry/timeout paths, and a permanently failing
+workunit degrades a run instead of aborting it (``WorkunitRun.error``
+semantics preserved under the parallel engine)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.exec import ExecutionEngine, TaskTimeout, WorkItem
+from repro.jube.parameters import ParameterSet
+from repro.jube.runtime import BenchmarkSpec, JubeRuntime
+from repro.jube.steps import Step, StepError
+
+
+class FailNTimesStub:
+    """A benchmark-like callable failing its first ``n_failures`` calls.
+
+    Thread-safe so engine workers can hammer it concurrently.
+    """
+
+    def __init__(self, n_failures: int, value: float = 42.0,
+                 slow_first: float = 0.0):
+        self.n_failures = n_failures
+        self.value = value
+        self.slow_first = slow_first
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            self.calls += 1
+            attempt = self.calls
+        if self.slow_first and attempt == 1:
+            time.sleep(self.slow_first)
+            return self.value
+        if attempt <= self.n_failures:
+            raise RuntimeError(f"injected failure #{attempt}")
+        return self.value
+
+
+class TestRetries:
+    def test_fails_n_then_succeeds_within_budget(self):
+        stub = FailNTimesStub(n_failures=3)
+        engine = ExecutionEngine(workers=1, retries=3)
+        out = engine.map([WorkItem(fn=stub, label="flaky")])
+        assert out[0].ok and out[0].value == 42.0
+        assert out[0].attempts == 4
+        assert stub.calls == 4
+
+    def test_budget_too_small_yields_error_record(self):
+        stub = FailNTimesStub(n_failures=5)
+        engine = ExecutionEngine(workers=1, retries=2)
+        out = engine.map([WorkItem(fn=stub)])
+        assert not out[0].ok
+        assert out[0].attempts == 3
+        assert "injected failure #3" in out[0].error
+
+    def test_permanent_failure_does_not_abort_siblings(self):
+        bad = FailNTimesStub(n_failures=10 ** 6)
+        good = [FailNTimesStub(n_failures=0, value=float(i))
+                for i in range(6)]
+        items = [WorkItem(fn=g, label=f"good{i}")
+                 for i, g in enumerate(good)]
+        items.insert(3, WorkItem(fn=bad, label="doomed", retries=2))
+        out = ExecutionEngine(workers=4).map(items)
+        assert [o.ok for o in out] == [True, True, True, False,
+                                       True, True, True]
+        assert [o.value for o in out if o.ok] == [0.0, 1.0, 2.0,
+                                                  3.0, 4.0, 5.0]
+        journal = ExecutionEngine(workers=4).journal  # fresh = empty
+        assert len(journal) == 0
+
+    def test_timeout_then_retry_succeeds(self):
+        # first attempt is slow (times out post-hoc), second is instant
+        stub = FailNTimesStub(n_failures=0, slow_first=0.05)
+        engine = ExecutionEngine(workers=1, retries=1, timeout=0.01)
+        out = engine.map([WorkItem(fn=stub)])
+        assert out[0].ok and out[0].attempts == 2
+
+    def test_timeout_without_retry_is_an_error(self):
+        stub = FailNTimesStub(n_failures=0, slow_first=0.05)
+        out = ExecutionEngine(workers=1, timeout=0.01).map(
+            [WorkItem(fn=stub)])
+        assert not out[0].ok
+        assert isinstance(out[0].exception, TaskTimeout)
+
+
+def _spec(fail_on: int) -> BenchmarkSpec:
+    """A spec with 5 workunits where workunit ``fail_on`` always fails."""
+
+    def execute(ctx):
+        if ctx.params["i"] == fail_on:
+            raise RuntimeError("injected workunit failure")
+        return {"fom_seconds": 10.0 * ctx.params["i"] + 1.0}
+
+    pset = ParameterSet(name="sweep").add("i", [0, 1, 2, 3, 4])
+    return BenchmarkSpec(name="faulty", parametersets=[pset],
+                         steps=[Step(name="execute", tasks=[execute])])
+
+
+class TestJubeWorkunitFaults:
+    def test_keep_going_records_error_and_siblings_complete(self):
+        runtime = JubeRuntime(engine=ExecutionEngine(workers=4))
+        result = runtime.run(_spec(fail_on=2), keep_going=True)
+        assert not result.ok
+        errors = [w for w in result.workunits if not w.ok]
+        assert len(errors) == 1
+        assert errors[0].params["i"] == 2
+        assert "injected workunit failure" in errors[0].error
+        # siblings all completed with their outputs
+        oks = [w for w in result.workunits if w.ok]
+        assert [w.outputs["execute"]["fom_seconds"] for w in oks] == \
+            [1.0, 11.0, 31.0, 41.0]
+        # error-carrying workunits are excluded from records/tables
+        assert len(result.records()) == 4
+
+    def test_strict_mode_reraises_step_error(self):
+        runtime = JubeRuntime(engine=ExecutionEngine(workers=4))
+        with pytest.raises(StepError, match="injected workunit failure"):
+            runtime.run(_spec(fail_on=1), keep_going=False)
+
+    def test_engine_path_matches_sequential_semantics(self):
+        seq = JubeRuntime().run(_spec(fail_on=3), keep_going=True)
+        par = JubeRuntime(engine=ExecutionEngine(workers=8)).run(
+            _spec(fail_on=3), keep_going=True)
+        assert [w.params for w in seq.workunits] == \
+            [w.params for w in par.workunits]
+        assert [w.error for w in seq.workunits] == \
+            [w.error for w in par.workunits]
+        assert [w.outputs for w in seq.workunits] == \
+            [w.outputs for w in par.workunits]

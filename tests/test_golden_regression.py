@@ -1,0 +1,96 @@
+"""Golden regression tests for paper-facing numbers.
+
+Small JSON snapshots of the Table II FOMs and one Fig. 2
+strong-scaling curve, produced at seed, live in ``tests/goldens/``.
+Future PRs cannot silently shift these numbers: the tolerance-aware
+comparator flags any relative deviation beyond ``RTOL``.
+
+To *intentionally* move them (e.g. a legitimate model fix), regenerate
+with::
+
+    PYTHONPATH=src python tests/regen_goldens.py
+
+and justify the shift in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import load_suite
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: The simulation is deterministic, so in-place reruns reproduce the
+#: goldens exactly; the tolerance only absorbs cross-platform libm /
+#: BLAS rounding differences, not model changes.
+RTOL = 1e-9
+
+
+def assert_close(actual: float, golden: float, *, what: str,
+                 rtol: float = RTOL) -> None:
+    """Tolerance-aware comparator with an actionable failure message."""
+    denom = max(abs(golden), 1e-300)
+    rel = abs(actual - golden) / denom
+    assert rel <= rtol, (
+        f"{what}: {actual!r} deviates from golden {golden!r} "
+        f"(relative error {rel:.3e} > rtol {rtol:.0e}). If this shift "
+        f"is intentional, regenerate via "
+        f"'PYTHONPATH=src python tests/regen_goldens.py' and explain "
+        f"the change.")
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return load_suite()
+
+
+@pytest.fixture(scope="module")
+def golden_foms():
+    return json.loads((GOLDEN_DIR / "table2_foms.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_curve():
+    return json.loads((GOLDEN_DIR / "strong_scaling_curve.json").read_text())
+
+
+class TestGoldenFoms:
+    def test_every_registered_benchmark_snapshotted(self, suite,
+                                                    golden_foms):
+        assert sorted(golden_foms["foms"]) == sorted(suite.names())
+
+    def test_table2_foms_match_goldens(self, suite, golden_foms):
+        for name, golden in sorted(golden_foms["foms"].items()):
+            actual = suite.run(name).fom_seconds
+            assert_close(actual, golden, what=f"FOM of {name}")
+
+    def test_goldens_document_regeneration(self, golden_foms):
+        assert "regen_goldens.py" in golden_foms["_meta"]["regenerate"]
+
+
+class TestGoldenScalingCurve:
+    def test_curve_matches_golden(self, suite, golden_curve):
+        study = suite.strong_scaling_study(golden_curve["benchmark"])
+        assert study.reference.nodes == golden_curve["reference_nodes"]
+        golden_points = golden_curve["points"]
+        assert [p.nodes for p in study.points] == \
+            [n for n, _ in golden_points]
+        for point, (nodes, golden_runtime) in zip(study.points,
+                                                  golden_points):
+            assert_close(point.runtime, golden_runtime,
+                         what=f"{golden_curve['benchmark']} strong-"
+                              f"scaling runtime at {nodes} nodes")
+
+
+class TestComparator:
+    def test_exact_match_passes(self):
+        assert_close(1.0, 1.0, what="identity")
+
+    def test_within_tolerance_passes(self):
+        assert_close(1.0 + 1e-12, 1.0, what="tiny noise")
+
+    def test_shift_beyond_tolerance_fails_with_guidance(self):
+        with pytest.raises(AssertionError, match="regen_goldens"):
+            assert_close(1.01, 1.0, what="real shift")

@@ -1,0 +1,168 @@
+"""Property-based tests for ``repro.jube.parameters``.
+
+Hand-rolled generator loops over a seeded ``random.Random`` (no
+hypothesis dependency): random parameter-set DAGs must round-trip
+through :func:`resolve` / :func:`expand`, substitution must be
+independent of declaration order, cycles must always raise
+:class:`ParameterError`, and the expansion cardinality must equal the
+product of the multi-value lengths.
+
+Conventions: every loop draws from ``random.Random(SEED + i)`` so a
+failure reproduces from the printed iteration index alone.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.jube.parameters import (
+    ParameterError,
+    ParameterSet,
+    expand,
+    resolve,
+)
+
+SEED = 0x5CA1E
+ITERATIONS = 60
+
+
+def random_dag_values(rng: random.Random, n: int) -> dict[str, int]:
+    """Ground-truth integer values for a random dependency DAG.
+
+    Parameter ``p{i}`` may reference any ``p{j}`` with ``j < i`` --
+    acyclic by construction.
+    """
+    return {f"p{i}": rng.randrange(1, 100) for i in range(n)}
+
+
+def build_sets(rng: random.Random, truth: dict[str, int],
+               shuffle: bool) -> list[ParameterSet]:
+    """Parameter sets realising ``truth`` via $-references.
+
+    Each parameter is either a literal, a text reference chain, or a
+    python-mode sum over already-defined parameters; the declaration is
+    split across 1-3 sets and optionally shuffled.
+    """
+    names = list(truth)
+    params = []
+    for i, name in enumerate(names):
+        deps = [names[j] for j in range(i) if rng.random() < 0.3]
+        style = rng.choice(["literal", "text", "python"]) if deps \
+            else "literal"
+        if style == "literal":
+            params.append((name, truth[name], "text"))
+        elif style == "text":
+            # "$dep" resolves to the dep's value as a string; keep the
+            # ground truth intact by additive python re-derivation
+            dep = rng.choice(deps)
+            expr = f"{truth[name] - truth[dep]} + ${dep}"
+            params.append((name, expr, "python"))
+        else:
+            used = deps[: rng.randrange(1, len(deps) + 1)]
+            offset = truth[name] - sum(truth[d] for d in used)
+            expr = " + ".join([str(offset)] + [f"${d}" for d in used])
+            params.append((name, expr, "python"))
+    if shuffle:
+        rng.shuffle(params)
+    n_sets = rng.randrange(1, 4)
+    sets = [ParameterSet(name=f"set{k}") for k in range(n_sets)]
+    for j, (name, value, mode) in enumerate(params):
+        sets[j % n_sets].add(name, value, mode=mode)
+    return sets
+
+
+class TestResolveProperties:
+    def test_random_dags_resolve_to_ground_truth(self):
+        for i in range(ITERATIONS):
+            rng = random.Random(SEED + i)
+            truth = random_dag_values(rng, rng.randrange(1, 12))
+            sets = build_sets(rng, truth, shuffle=False)
+            assert resolve(sets) == truth, f"iteration {i}"
+
+    def test_substitution_is_declaration_order_independent(self):
+        for i in range(ITERATIONS):
+            rng = random.Random(SEED + i)
+            truth = random_dag_values(rng, rng.randrange(2, 12))
+            baseline = resolve(build_sets(rng, truth, shuffle=False))
+            shuffled = resolve(build_sets(random.Random(SEED + i + 1),
+                                          truth, shuffle=True))
+            assert baseline == shuffled == truth, f"iteration {i}"
+
+    def test_cycles_always_raise(self):
+        for i in range(ITERATIONS):
+            rng = random.Random(SEED + i)
+            k = rng.randrange(2, 8)
+            pset = ParameterSet(name="cyclic")
+            for j in range(k):
+                pset.add(f"c{j}", f"1 + $c{(j + 1) % k}", mode="python")
+            # bury the cycle among innocent parameters
+            for j in range(rng.randrange(0, 5)):
+                pset.add(f"ok{j}", j)
+            with pytest.raises(ParameterError, match="cycle"):
+                resolve([pset])
+
+    def test_unresolved_reference_raises(self):
+        for i in range(ITERATIONS // 4):
+            rng = random.Random(SEED + i)
+            pset = ParameterSet(name="dangling")
+            pset.add("a", f"$missing_{rng.randrange(100)}")
+            with pytest.raises(ParameterError, match="unresolved"):
+                resolve([pset])
+
+
+class TestExpandProperties:
+    def test_cardinality_is_product_of_multi_lengths(self):
+        for i in range(ITERATIONS):
+            rng = random.Random(SEED + i)
+            pset = ParameterSet(name="sweep")
+            lengths = []
+            for j in range(rng.randrange(0, 4)):
+                values = [rng.randrange(100) for _ in
+                          range(rng.randrange(1, 5))]
+                pset.add(f"m{j}", values)
+                lengths.append(len(values))
+            for j in range(rng.randrange(0, 4)):
+                pset.add(f"s{j}", rng.randrange(100))
+            combos = expand([pset])
+            expected = 1
+            for length in lengths:
+                expected *= length
+            assert len(combos) == expected, f"iteration {i}"
+
+    def test_expand_round_trips_through_resolve(self):
+        """Pinning each combo's multi values must re-resolve to it."""
+        for i in range(ITERATIONS):
+            rng = random.Random(SEED + i)
+            pset = ParameterSet(name="sweep")
+            pset.add("nodes", sorted({rng.randrange(1, 64)
+                                      for _ in range(rng.randrange(1, 4))}))
+            pset.add("tasks", "$nodes * 4", mode="python")
+            pset.add("label", "run-$nodes")
+            combos = expand([pset])
+            for combo in combos:
+                pinned = ParameterSet(name="pin").add("nodes",
+                                                      combo["nodes"])
+                assert resolve([pset, pinned]) == combo, f"iteration {i}"
+                assert combo["tasks"] == combo["nodes"] * 4
+                assert combo["label"] == f"run-{combo['nodes']}"
+
+    def test_expansion_covers_the_cartesian_product(self):
+        for i in range(ITERATIONS // 3):
+            rng = random.Random(SEED + i)
+            a = sorted({rng.randrange(50) for _ in range(3)})
+            b = sorted({rng.randrange(50, 100) for _ in range(2)})
+            pset = ParameterSet(name="grid").add("a", a).add("b", b)
+            combos = expand([pset])
+            got = {(c["a"], c["b"]) for c in combos}
+            assert got == set(itertools.product(a, b)), f"iteration {i}"
+
+    def test_tagged_parameters_filter_consistently(self):
+        for i in range(ITERATIONS // 3):
+            rng = random.Random(SEED + i)
+            pset = ParameterSet(name="tagged")
+            pset.add("base", 1)
+            pset.add("opt", [1, 2, 3], tags=("large",))
+            with_tag = expand([pset], tags=("large",))
+            without = expand([pset])
+            assert len(with_tag) == 3 and len(without) == 1, f"iter {i}"

@@ -1,0 +1,88 @@
+"""Shared-state safety of the suite registry under the parallel engine:
+the module-level default suite and the per-suite instance cache are
+hammered from 8 threads and must never duplicate, lose, or corrupt
+state."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import repro.core.suite as suite_module
+from repro.core import JupiterBenchmarkSuite, load_suite
+from repro import apps, synthetic
+
+THREADS = 8
+
+
+def hammer(fn, n_threads=THREADS, repeats=1):
+    """Run ``fn(thread_index)`` concurrently with a start barrier."""
+    barrier = threading.Barrier(n_threads)
+    results = []
+
+    def worker(i):
+        barrier.wait()
+        out = [fn(i) for _ in range(repeats)]
+        return out
+
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        for future in [pool.submit(worker, i) for i in range(n_threads)]:
+            results.extend(future.result())
+    return results
+
+
+class TestDefaultSuiteRace:
+    def test_concurrent_first_load_builds_one_suite(self):
+        saved = suite_module._DEFAULT
+        suite_module._DEFAULT = None
+        try:
+            suites = hammer(lambda i: load_suite())
+            assert len({id(s) for s in suites}) == 1
+            assert len(suites[0].names()) == 23
+        finally:
+            suite_module._DEFAULT = saved
+
+    def test_no_partially_registered_suite_observable(self):
+        # every load_suite() caller must see the fully populated registry
+        saved = suite_module._DEFAULT
+        suite_module._DEFAULT = None
+        try:
+            counts = hammer(lambda i: len(load_suite().names()))
+            assert set(counts) == {23}
+        finally:
+            suite_module._DEFAULT = saved
+
+
+class TestInstanceCacheRace:
+    def test_get_yields_one_instance_per_name(self):
+        suite = JupiterBenchmarkSuite()
+        apps.register_all(suite)
+        synthetic.register_all(suite)
+        names = suite.names()
+
+        def fetch(i):
+            return [id(suite.get(name)) for name in names]
+
+        id_lists = hammer(fetch, repeats=3)
+        # every thread, every repeat: the exact same instance per name
+        assert len({tuple(ids) for ids in id_lists}) == 1
+
+    def test_concurrent_register_and_lookup(self):
+        suite = JupiterBenchmarkSuite()
+        synthetic.register_all(suite)
+
+        def churn(i):
+            if i % 2 == 0:
+                apps.register_all(suite)     # idempotent re-registration
+                return None
+            return len(suite.names())        # must never see torn state
+
+        counts = [c for c in hammer(churn, repeats=5) if c is not None]
+        assert all(7 <= c <= 23 for c in counts)
+        assert len(suite.names()) == 23
+
+    def test_parallel_runs_stay_deterministic(self):
+        suite = JupiterBenchmarkSuite()
+        apps.register_all(suite)
+        synthetic.register_all(suite)
+        foms = hammer(lambda i: suite.run("STREAM").fom_seconds,
+                      repeats=2)
+        assert len(set(foms)) == 1
