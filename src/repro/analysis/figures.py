@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from ..core.scaling import StrongScalingResult, WeakScalingResult
 from ..core.suite import JupiterBenchmarkSuite
 from ..core.variants import MemoryVariant
+from ..telemetry.spans import current_tracer
 
 #: Base apps plotted in Fig. 2 (name, power-of-two constraint)
 FIG2_APPS: tuple[tuple[str, bool], ...] = (
@@ -110,9 +111,10 @@ def figure2(suite: JupiterBenchmarkSuite,
             apps: tuple[tuple[str, bool], ...] = FIG2_APPS) -> Fig2Data:
     """Run the Fig. 2 strong-scaling study for the given Base apps."""
     data = Fig2Data()
-    for name, pow2 in apps:
-        data.curves[name] = suite.strong_scaling_study(
-            name, power_of_two=pow2)
+    with current_tracer().span("figure2", kind="driver", apps=len(apps)):
+        for name, pow2 in apps:
+            data.curves[name] = suite.strong_scaling_study(
+                name, power_of_two=pow2)
     return data
 
 
@@ -127,18 +129,23 @@ def figure3(suite: JupiterBenchmarkSuite,
     presentation of the paper.
     """
     data = Fig3Data()
-    for name, variant in apps:
-        data.curves[name] = suite.weak_scaling_study(name, nodes,
-                                                     variant=variant)
-    # JUQCS split: efficiency of each component separately
-    juqcs = suite.get("JUQCS")
-    base_comp = base_comm = None
-    for n in sorted(nodes):
-        res = juqcs.run(n, variant=MemoryVariant.SMALL)
-        comp = res.details["compute_seconds"]
-        comm = res.details["comm_seconds"]
-        if base_comp is None:
-            base_comp, base_comm = comp, max(comm, 1e-12)
-        data.juqcs_compute.append((res.nodes, base_comp / comp))
-        data.juqcs_comm.append((res.nodes, base_comm / max(comm, 1e-12)))
+    tracer = current_tracer()
+    with tracer.span("figure3", kind="driver", apps=len(apps)):
+        for name, variant in apps:
+            data.curves[name] = suite.weak_scaling_study(name, nodes,
+                                                         variant=variant)
+        # JUQCS split: efficiency of each component separately
+        juqcs = suite.get("JUQCS")
+        base_comp = base_comm = None
+        for n in sorted(nodes):
+            with tracer.span(f"point:JUQCS-split@{n}", kind="point",
+                             study="juqcs-split", benchmark="JUQCS",
+                             nodes=n):
+                res = juqcs.run(n, variant=MemoryVariant.SMALL)
+            comp = res.details["compute_seconds"]
+            comm = res.details["comm_seconds"]
+            if base_comp is None:
+                base_comp, base_comm = comp, max(comm, 1e-12)
+            data.juqcs_compute.append((res.nodes, base_comp / comp))
+            data.juqcs_comm.append((res.nodes, base_comm / max(comm, 1e-12)))
     return data

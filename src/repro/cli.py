@@ -8,12 +8,17 @@ Sub-commands::
     jubench suite [--benchmarks A,B]   # run the whole registered suite
     jubench fig2 [--apps A,B,...]      # Base strong-scaling study
     jubench fig3 [--nodes 8,16,...]    # High-Scaling weak-scaling study
+    jubench report TRACE.jsonl         # re-render a saved trace offline
     jubench procurement                # demo TCO evaluation of proposals
 
 Execution commands accept engine options: ``--workers N`` fans
 independent workunits out in parallel, ``--cache-dir DIR`` memoises
 results on disk across invocations (``--no-cache`` disables caching),
-and ``--journal`` prints the structured run journal afterwards.
+and ``--journal [PATH]`` prints the structured run journal afterwards
+(or, with a path, saves it as telemetry JSONL).  Observability:
+``--trace-out FILE.jsonl`` streams the span/event trace to disk,
+``--trace-out FILE.json`` writes a Chrome ``trace_event`` file for
+Perfetto, and ``--metrics`` prints the metrics-registry report.
 """
 
 from __future__ import annotations
@@ -31,6 +36,15 @@ from .core import (
     load_suite,
 )
 from .exec import DiskCache, ExecutionEngine, MemoryCache
+from .telemetry import (
+    JsonlSink,
+    MetricsRegistry,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    set_default_registry,
+    write_chrome_trace,
+)
 from .units import fmt_seconds
 
 
@@ -53,8 +67,17 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                             "directory (reused across invocations)")
     group.add_argument("--no-cache", action="store_true",
                        help="disable result memoisation")
-    group.add_argument("--journal", action="store_true",
-                       help="print the per-task run journal at the end")
+    group.add_argument("--journal", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="print the per-task run journal at the end; "
+                            "with PATH, save it as telemetry JSONL instead")
+    obs = parser.add_argument_group("observability")
+    obs.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write the telemetry trace: *.jsonl streams "
+                          "events as they happen, *.json is a Chrome "
+                          "trace_event file (Perfetto)")
+    obs.add_argument("--metrics", action="store_true",
+                     help="print the metrics-registry report at the end")
 
 
 def _make_engine(args: argparse.Namespace) -> ExecutionEngine | None:
@@ -65,8 +88,13 @@ def _make_engine(args: argparse.Namespace) -> ExecutionEngine | None:
     if not args.no_cache:
         cache = DiskCache(args.cache_dir) if args.cache_dir \
             else MemoryCache()
+    # Under --trace-out/--metrics a tracer is installed globally before
+    # dispatch; sharing it puts engine task spans, suite driver spans
+    # and vmpi events on one timeline.
+    ambient = current_tracer()
     return ExecutionEngine(workers=args.workers, backend=args.backend,
-                           cache=cache)
+                           cache=cache,
+                           tracer=ambient if ambient.enabled else None)
 
 
 def _configured_suite(args: argparse.Namespace):
@@ -169,6 +197,13 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .telemetry.report import render_report
+
+    print(render_report(args.trace))
+    return 0
+
+
 def _cmd_procurement(_args: argparse.Namespace) -> int:
     from .cluster.hardware import jupiter_booster_model
 
@@ -249,6 +284,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach a sample execution result")
     p.set_defaults(fn=_cmd_describe)
 
+    p = sub.add_parser("report",
+                       help="render a saved telemetry JSONL trace "
+                            "(journal summary + cost centres, offline)")
+    p.add_argument("trace",
+                   help="trace file from --trace-out FILE.jsonl or "
+                        "--journal PATH")
+    p.set_defaults(fn=_cmd_report)
+
     sub.add_parser("procurement",
                    help="demo TCO evaluation").set_defaults(
         fn=_cmd_procurement)
@@ -259,13 +302,45 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point."""
     args = build_parser().parse_args(argv)
     suite = load_suite()
+    trace_out = getattr(args, "trace_out", None)
+    want_metrics = getattr(args, "metrics", False)
+    tracer = sink = registry = prev_registry = None
+    if trace_out or want_metrics:
+        tracer = Tracer()
+        install_tracer(tracer)
+        registry = MetricsRegistry()
+        prev_registry = set_default_registry(registry)
+        if trace_out and trace_out.endswith(".jsonl"):
+            sink = JsonlSink(trace_out)
+            tracer.subscribe(sink)
     try:
         return args.fn(args)
     finally:
         engine = suite.engine
         suite.engine = None  # the default suite is shared; detach
-        if engine is not None and getattr(args, "journal", False):
-            print(engine.journal.summary())
+        journal_to = getattr(args, "journal", None)
+        if engine is not None and journal_to is not None:
+            if journal_to == "-":
+                print(engine.journal.summary())
+            else:
+                count = engine.journal.to_jsonl(journal_to)
+                print(f"journal: {count} task record(s) -> {journal_to}")
+        if tracer is not None:
+            if sink is not None:
+                tracer.emit({"type": "metrics",
+                             "snapshot": registry.snapshot()})
+                sink.close()
+                print(f"trace: {trace_out} "
+                      f"(render offline: jubench report {trace_out})")
+            elif trace_out:
+                n = write_chrome_trace(trace_out, tracer)
+                print(f"trace: {n} trace events -> {trace_out} "
+                      f"(open in Perfetto or chrome://tracing)")
+            install_tracer(None)
+        if registry is not None:
+            set_default_registry(prev_registry)
+            if want_metrics:
+                print(registry.render())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ from typing import Callable
 
 from ..exec.cache import result_key
 from ..exec.engine import ExecutionEngine, WorkItem
+from ..telemetry.spans import current_tracer
 from .benchmark import BenchmarkResult
 
 
@@ -155,16 +156,22 @@ class ContinuousBenchmarking:
             if name not in self.baseline.foms:
                 raise KeyError(f"no baseline for benchmark {name!r}")
         report = CampaignReport(interval=len(self.history))
-        foms = self._measure_all(names)
-        for name in names:
-            fom = foms[name]
-            report.results[name] = fom
-            ref = self.baseline.foms[name]
-            threshold = ref * (1.0 + self.sigma * self.baseline.noise[name]
-                               + self.slack)
-            if fom > threshold:
-                report.alerts.append(RegressionAlert(
-                    benchmark=name, baseline=ref, measured=fom))
+        with current_tracer().span("continuous.interval", kind="interval",
+                                   interval=report.interval,
+                                   fingerprint=self.fingerprint,
+                                   benchmarks=len(names)) as span:
+            foms = self._measure_all(names)
+            for name in names:
+                fom = foms[name]
+                report.results[name] = fom
+                ref = self.baseline.foms[name]
+                threshold = ref * (1.0
+                                   + self.sigma * self.baseline.noise[name]
+                                   + self.slack)
+                if fom > threshold:
+                    report.alerts.append(RegressionAlert(
+                        benchmark=name, baseline=ref, measured=fom))
+            span.set(alerts=len(report.alerts))
         self.history.append(report)
         return report
 

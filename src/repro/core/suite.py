@@ -18,6 +18,9 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..exec.cache import result_key
 from ..exec.engine import ExecutionEngine, WorkItem
+from ..telemetry.export import emit_vmpi
+from ..telemetry.metrics import default_registry
+from ..telemetry.spans import current_tracer
 from .benchmark import Benchmark, BenchmarkResult, Category
 from .fom import ReferenceResult
 from .registry import BENCHMARKS, BenchmarkInfo, get_info
@@ -171,18 +174,46 @@ class JupiterBenchmarkSuite:
         Without one this is a plain sequential loop.
         """
         wanted = list(names) if names is not None else self.names()
-        if self.engine is None:
-            return [self.run(n, nodes, variant=variant, scale=scale,
-                             real=real) for n in wanted]
-        items = [WorkItem(fn=self.run, args=(name, nodes),
-                          kwargs={"variant": variant, "scale": scale,
-                                  "real": real},
-                          key=self.run_key(name, nodes, variant=variant,
-                                           scale=scale, real=real),
-                          label=f"run:{name}", encode=encode_result,
-                          decode=decode_result)
-                 for name in wanted]
-        return self.engine.run(items)
+        tracer = current_tracer()
+        with tracer.span("suite.run_all", kind="driver",
+                         benchmarks=len(wanted)):
+            if self.engine is None:
+                results = []
+                for name in wanted:
+                    with tracer.span(f"run:{name}", kind="benchmark",
+                                     benchmark=name):
+                        results.append(self.run(name, nodes,
+                                                variant=variant,
+                                                scale=scale, real=real))
+            else:
+                items = [WorkItem(fn=self.run, args=(name, nodes),
+                                  kwargs={"variant": variant,
+                                          "scale": scale, "real": real},
+                                  key=self.run_key(name, nodes,
+                                                   variant=variant,
+                                                   scale=scale, real=real),
+                                  label=f"run:{name}",
+                                  encode=encode_result,
+                                  decode=decode_result)
+                         for name in wanted]
+                results = self.engine.run(items)
+            for result in results:
+                self._observe(result)
+        return results
+
+    def _observe(self, result: BenchmarkResult) -> None:
+        """Record one result's telemetry: FOM gauge + vMPI rank traces.
+
+        Cache hits arrive without an SPMD trace (it is dropped from the
+        cache representation), so warm reruns never duplicate rank
+        timelines.
+        """
+        default_registry().gauge("benchmark_fom_seconds",
+                                 benchmark=result.benchmark,
+                                 nodes=result.nodes).set(result.fom_seconds)
+        tracer = current_tracer()
+        if tracer.enabled and result.spmd is not None:
+            emit_vmpi(tracer, result.benchmark, result.nodes, result.spmd)
 
     def _point_mapper(self, name: str, *, study: str,
                       variant: MemoryVariant | None,
@@ -218,13 +249,20 @@ class JupiterBenchmarkSuite:
         info = get_info(name)
 
         def run(nodes: int) -> float:
-            return self.run(name, nodes, scale=scale).fom_seconds
+            with current_tracer().span(f"point:{name}@{nodes}",
+                                       kind="point", study="strong",
+                                       benchmark=name, nodes=nodes):
+                result = self.run(name, nodes, scale=scale)
+            self._observe(result)
+            return result.fom_seconds
 
-        return strong_scaling(name, run, info.reference_nodes,
-                              power_of_two=power_of_two,
-                              mapper=self._point_mapper(
-                                  name, study="strong", variant=None,
-                                  scale=scale))
+        with current_tracer().span(f"study:strong:{name}", kind="study",
+                                   benchmark=name):
+            return strong_scaling(name, run, info.reference_nodes,
+                                  power_of_two=power_of_two,
+                                  mapper=self._point_mapper(
+                                      name, study="strong", variant=None,
+                                      scale=scale))
 
     def weak_scaling_study(self, name: str, node_counts: Iterable[int], *,
                            variant: MemoryVariant | None = None,
@@ -237,13 +275,20 @@ class JupiterBenchmarkSuite:
         """
 
         def run(nodes: int) -> float:
-            return self.run(name, nodes, variant=variant,
-                            scale=scale).fom_seconds
+            with current_tracer().span(f"point:{name}@{nodes}",
+                                       kind="point", study="weak",
+                                       benchmark=name, nodes=nodes):
+                result = self.run(name, nodes, variant=variant,
+                                  scale=scale)
+            self._observe(result)
+            return result.fom_seconds
 
-        return weak_scaling(name, run, node_counts,
-                            mapper=self._point_mapper(
-                                name, study="weak", variant=variant,
-                                scale=scale))
+        with current_tracer().span(f"study:weak:{name}", kind="study",
+                                   benchmark=name):
+            return weak_scaling(name, run, node_counts,
+                                mapper=self._point_mapper(
+                                    name, study="weak", variant=variant,
+                                    scale=scale))
 
 
 _DEFAULT: JupiterBenchmarkSuite | None = None

@@ -16,11 +16,18 @@ JUBE workunit -- is independent of its siblings, so a run is a batch of
 
 ``map`` is the degrade-gracefully API (callers inspect per-item
 errors); ``run`` is the strict API (first failure re-raises the
-original exception).  Every processed item is journalled.
+original exception).  Every processed item leaves a ``task:`` span
+(with per-attempt child spans) on the engine's
+:class:`~repro.telemetry.spans.Tracer`; the run journal subscribes to
+that span stream, so journalling and tracing are one path.  Process
+workers execute under a local span collector and ship their span/event
+batches back with the outcome; the parent rebases the timestamps onto
+its own clock before grafting them in.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import (
     Executor,
@@ -30,6 +37,9 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from ..telemetry.export import reemit_events
+from ..telemetry.metrics import MetricsRegistry, default_registry
+from ..telemetry.spans import SpanRecord, Tracer, use_tracer
 from .cache import ResultCache
 from .journal import RunJournal, TaskRecord
 
@@ -110,38 +120,65 @@ class _Attempt:
     started: float
     finished: float
     error: BaseException | None
+    #: spans recorded inside the attempt (per-attempt spans plus
+    #: anything the task itself emitted); picklable, shipped back from
+    #: process workers with the outcome
+    spans: list[SpanRecord] = field(default_factory=list)
+    #: out-of-band telemetry events (vmpi cost buckets, ...) recorded
+    #: inside the attempt, shipped back the same way
+    events: list[dict[str, Any]] = field(default_factory=list)
+    #: identity of the executing thread (export-lane assignment)
+    thread_ident: int = 0
 
 
 def _run_guarded(fn: Callable[..., Any], args: tuple,
                  kwargs: dict[str, Any], retries: int,
-                 timeout: float | None) -> _Attempt:
+                 timeout: float | None,
+                 clock: Callable[[], float] = time.perf_counter) -> _Attempt:
     """Run one item inside the fault boundary.
 
     Module-level so the process backend can pickle it.  The timeout is
     enforced post-hoc on the attempt's wall time (simulated workloads
     cannot be preempted portably); a too-slow attempt counts as a
     failure and is retried like any other.
+
+    Every attempt runs under a local span collector installed as the
+    ambient tracer, so instrumented task code (JUBE workunits, nested
+    suite calls) records spans even inside process workers; the batch
+    travels back in :attr:`_Attempt.spans` and the parent grafts it
+    under the task span (rebasing clocks for the process backend).
     """
-    started = time.perf_counter()
+    collector = Tracer(clock=clock)
+    started = clock()
     attempts = 0
     last: BaseException | None = None
-    while attempts <= retries:
-        attempts += 1
-        t0 = time.perf_counter()
-        try:
-            value = fn(*args, **kwargs)
-            elapsed = time.perf_counter() - t0
-            if timeout is not None and elapsed > timeout:
-                raise TaskTimeout(
-                    f"attempt took {elapsed:.3f} s > timeout {timeout:.3f} s")
-            return _Attempt(ok=True, value=value, attempts=attempts,
-                            started=started,
-                            finished=time.perf_counter(), error=None)
-        except Exception as exc:  # the boundary: capture, maybe retry
-            last = exc
-    return _Attempt(ok=False, value=None, attempts=attempts,
-                    started=started, finished=time.perf_counter(),
-                    error=last)
+    ok = False
+    value: Any = None
+    with use_tracer(collector):
+        while attempts <= retries:
+            attempts += 1
+            with collector.span("attempt", n=attempts) as span:
+                t0 = clock()
+                try:
+                    value = fn(*args, **kwargs)
+                    elapsed = clock() - t0
+                    if timeout is not None and elapsed > timeout:
+                        raise TaskTimeout(
+                            f"attempt took {elapsed:.3f} s > "
+                            f"timeout {timeout:.3f} s")
+                except Exception as exc:  # the boundary: capture, retry
+                    last = exc
+                    span.set(status="error",
+                             error=f"{type(exc).__name__}: {exc}")
+                    continue
+                span.set(status="ok")
+                ok = True
+                break
+    return _Attempt(ok=ok, value=value if ok else None, attempts=attempts,
+                    started=started, finished=clock(),
+                    error=None if ok else last, spans=collector.finished(),
+                    events=collector.events(),
+                    thread_ident=threading.get_ident())
 
 
 class ExecutionEngine:
@@ -155,7 +192,9 @@ class ExecutionEngine:
     def __init__(self, workers: int = 1, backend: str = "thread", *,
                  cache: ResultCache | None = None, retries: int = 0,
                  timeout: float | None = None,
-                 journal: RunJournal | None = None):
+                 journal: RunJournal | None = None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if backend not in BACKENDS:
@@ -170,7 +209,13 @@ class ExecutionEngine:
         self.cache = cache
         self.retries = retries
         self.timeout = timeout
+        #: the span stream every processed task lands on
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else default_registry()
+        #: the journal consumes the engine's span stream (it is a
+        #: subscriber, not a parallel bookkeeping path)
         self.journal = journal if journal is not None else RunJournal()
+        self.tracer.subscribe(self.journal)
 
     # -- batch execution ----------------------------------------------------
 
@@ -191,21 +236,24 @@ class ExecutionEngine:
             else:
                 pending.append(i)
 
+        submitted = self.tracer.now()
         if self.backend == "serial":
             for i in pending:
                 outcomes[i] = self._finish(i, items[i],
-                                           self._attempt_inline(items[i]))
+                                           self._attempt_inline(items[i]),
+                                           submitted)
         else:
             with self._executor() as pool:
                 futures = {
                     i: pool.submit(
                         _run_guarded, items[i].fn, items[i].args,
                         items[i].kwargs, self._retries_for(items[i]),
-                        self._timeout_for(items[i]))
+                        self._timeout_for(items[i]), self.tracer.clock)
                     for i in pending
                 }
                 for i, future in futures.items():
-                    outcomes[i] = self._finish(i, items[i], future.result())
+                    outcomes[i] = self._finish(i, items[i], future.result(),
+                                               submitted)
 
         done = [o for o in outcomes if o is not None]
         assert len(done) == len(items)
@@ -244,7 +292,7 @@ class ExecutionEngine:
     def _attempt_inline(self, item: WorkItem) -> _Attempt:
         return _run_guarded(item.fn, item.args, item.kwargs,
                             self._retries_for(item),
-                            self._timeout_for(item))
+                            self._timeout_for(item), self.tracer.clock)
 
     def _lookup(self, index: int, item: WorkItem) -> TaskOutcome | None:
         """Resolve an item from cache, or None when it must execute."""
@@ -254,16 +302,18 @@ class ExecutionEngine:
         if not found:
             return None
         value = item.decode(raw) if item.decode is not None else raw
-        now = time.perf_counter()
+        now = self.tracer.now()
         outcome = TaskOutcome(index=index, label=item.display(index),
                               value=value, attempts=0, cache="hit",
                               started=now, finished=now, key=item.key)
-        self.journal.append(outcome.record())
+        self._emit_task(outcome, spans=(), offset=0.0)
+        self.metrics.counter("engine_tasks_total", status="ok",
+                             cache="hit").inc()
         return outcome
 
-    def _finish(self, index: int, item: WorkItem,
-                attempt: _Attempt) -> TaskOutcome:
-        """Turn a guarded attempt into an outcome; cache + journal it."""
+    def _finish(self, index: int, item: WorkItem, attempt: _Attempt,
+                submitted: float) -> TaskOutcome:
+        """Turn a guarded attempt into an outcome; cache, trace, count it."""
         cache_state = "off"
         if self.cache is not None and item.key is not None:
             cache_state = "miss"
@@ -275,11 +325,57 @@ class ExecutionEngine:
         if not attempt.ok:
             exc = attempt.error
             error = f"{type(exc).__name__}: {exc}"
+        started, finished = attempt.started, attempt.finished
+        offset = 0.0
+        if self.backend == "process":
+            # Worker perf_counter timestamps live in another process's
+            # clock domain; keep the locally measured duration and
+            # rebase the interval so it ends at the parent-clock
+            # arrival time -- journal wall/busy seconds stay meaningful.
+            offset = self.tracer.now() - attempt.finished
+            started += offset
+            finished += offset
         outcome = TaskOutcome(index=index, label=item.display(index),
                               value=attempt.value, error=error,
                               exception=attempt.error,
                               attempts=attempt.attempts, cache=cache_state,
-                              started=attempt.started,
-                              finished=attempt.finished, key=item.key)
-        self.journal.append(outcome.record())
+                              started=started, finished=finished,
+                              key=item.key)
+        self._emit_task(outcome, spans=attempt.spans, offset=offset,
+                        thread_ident=attempt.thread_ident)
+        if attempt.events:
+            reemit_events(self.tracer, attempt.events)
+        status = "ok" if attempt.ok else "error"
+        self.metrics.counter("engine_tasks_total", status=status,
+                             cache=cache_state).inc()
+        if attempt.attempts > 1:
+            self.metrics.counter("engine_task_retries_total").inc(
+                attempt.attempts - 1)
+        self.metrics.histogram("engine_task_seconds").observe(
+            outcome.duration)
+        if self.backend != "process":
+            self.metrics.histogram("engine_queue_wait_seconds").observe(
+                max(0.0, attempt.started - submitted))
+        return outcome
+
+    def _emit_task(self, outcome: TaskOutcome,
+                   spans: Sequence[SpanRecord], offset: float,
+                   thread_ident: int | None = None) -> TaskOutcome:
+        """Record the task span (+ grafted attempt spans) on the tracer.
+
+        The journal subscribes to the tracer, so this is also what
+        journals the task.
+        """
+        lane = self.tracer.thread_index(thread_ident)
+        span_id = self.tracer.add_span(
+            f"task:{outcome.label}", outcome.started, outcome.finished,
+            thread=lane,
+            attrs={"kind": "task", "index": outcome.index,
+                   "label": outcome.label,
+                   "status": "ok" if outcome.ok else "error",
+                   "cache": outcome.cache, "attempts": outcome.attempts,
+                   "key": outcome.key, "error": outcome.error})
+        if spans:
+            self.tracer.graft(list(spans), offset=offset,
+                              parent_id=span_id, thread=lane)
         return outcome

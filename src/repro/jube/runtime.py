@@ -19,6 +19,7 @@ from typing import Any, Iterable
 
 from ..cluster.scheduler import Job, Scheduler
 from ..exec.engine import ExecutionEngine, WorkItem
+from ..telemetry.spans import current_tracer
 from .parameters import ParameterSet, expand
 from .platform import Platform
 from .result import ResultTable, WorkunitRecord
@@ -124,11 +125,13 @@ class JubeRuntime:
         ordered = step_order(spec.steps)
         combos = expand(spec.all_parametersets(), tagset)
         if self.engine is None or len(combos) <= 1:
-            results = [self._run_workunit(ordered, params, tagset)
-                       for params in combos]
+            results = [self._run_workunit(ordered, params, tagset,
+                                          name=f"{spec.name}[{i}]")
+                       for i, params in enumerate(combos)]
         else:
             items = [WorkItem(fn=self._run_workunit,
                               args=(ordered, params, tagset),
+                              kwargs={"name": f"{spec.name}[{i}]"},
                               label=f"{spec.name}[{i}]")
                      for i, params in enumerate(combos)]
             results = self.engine.run(items)
@@ -140,27 +143,34 @@ class JubeRuntime:
         return RunResult(benchmark=spec.name, tags=tagset, workunits=workunits)
 
     def _run_workunit(self, ordered: list[Step], params: dict[str, Any],
-                      tagset: frozenset[str]
+                      tagset: frozenset[str], name: str = "workunit"
                       ) -> tuple[WorkunitRun, StepError | None]:
         """One workunit inside its own fault boundary.
 
         Returns the (possibly error-carrying) :class:`WorkunitRun`
         together with the original exception so ``keep_going=False``
         can re-raise it -- the engine then never sees task failures and
-        sibling workunits always complete.
+        sibling workunits always complete.  The workunit and each step
+        record spans on the ambient tracer (inside engine workers that
+        is the shipped-back span collector).
         """
         outputs: dict[str, dict[str, Any]] = {}
         ctx = StepContext(params=params, results=outputs, tags=tagset,
                           env=dict(self.env))
         error: str | None = None
         exc: StepError | None = None
-        try:
-            for step in ordered:
-                out = self._run_step(step, ctx, params)
-                outputs.setdefault(step.name, {}).update(out)
-        except StepError as caught:
-            error = str(caught)
-            exc = caught
+        tracer = current_tracer()
+        with tracer.span(f"workunit:{name}", kind="workunit",
+                         steps=len(ordered)) as span:
+            try:
+                for step in ordered:
+                    with tracer.span(f"step:{step.name}", kind="step"):
+                        out = self._run_step(step, ctx, params)
+                    outputs.setdefault(step.name, {}).update(out)
+            except StepError as caught:
+                error = str(caught)
+                exc = caught
+                span.set(error=error)
         return WorkunitRun(params=params, outputs=outputs,
                            error=error), exc
 

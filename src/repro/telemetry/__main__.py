@@ -1,0 +1,14 @@
+"""``python -m repro.telemetry FILE...`` -- validate JSONL traces.
+
+Thin entry point around :func:`repro.telemetry.schema.main`; running
+the package (rather than the submodule) avoids the runpy double-import
+warning in CI pipelines.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .schema import main
+
+sys.exit(main())

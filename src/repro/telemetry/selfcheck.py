@@ -1,0 +1,143 @@
+"""Fast telemetry self-check: ``python -m repro.telemetry.selfcheck``.
+
+Exercises the whole layer end-to-end in a few milliseconds with a
+deterministic clock -- span nesting across threads, metrics semantics,
+JSONL schema round-trip, Chrome export shape -- and exits non-zero on
+the first violation.  CI runs it before the test suite; it needs no
+benchmark execution and no third-party packages.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+from .export import JsonlSink, chrome_trace_events, emit_vmpi
+from .metrics import Histogram, MetricsRegistry
+from .schema import validate_event
+from .spans import ManualClock, Tracer, use_tracer
+
+
+class _FakeRankTrace:
+    def __init__(self, compute: dict, comm: dict):
+        self.compute = compute
+        self.comm = comm
+
+
+class _FakeSpmd:
+    def __init__(self, traces: list):
+        self.traces = traces
+
+
+def _check(condition: bool, what: str, failures: list[str]) -> None:
+    if not condition:
+        failures.append(what)
+
+
+def run_selfcheck() -> list[str]:
+    """Run every check; returns the list of failures (empty = OK)."""
+    failures: list[str] = []
+
+    # 1. span nesting, attributes, manual clock
+    clock = ManualClock(tick=1.0)
+    tracer = Tracer(clock=clock)
+    with tracer.span("outer", kind="demo") as outer:
+        with tracer.span("inner") as inner:
+            inner.set(status="ok")
+        outer.set(status="ok")
+    spans = tracer.finished()
+    _check(len(spans) == 2, "two spans recorded", failures)
+    _check(spans[0].name == "inner" and spans[1].name == "outer",
+           "inner span finishes first", failures)
+    _check(spans[0].parent_id == spans[1].span_id,
+           "inner span parented to outer", failures)
+    _check(spans[1].end > spans[1].start, "manual clock advances", failures)
+
+    # 2. cross-thread isolation of the active-span stack
+    def other_thread() -> None:
+        with tracer.span("thread-root"):
+            pass
+
+    worker = threading.Thread(target=other_thread)
+    worker.start()
+    worker.join()
+    root = [s for s in tracer.finished() if s.name == "thread-root"][0]
+    _check(root.parent_id is None, "thread spans do not inherit "
+           "another thread's stack", failures)
+    _check(root.thread != spans[0].thread,
+           "threads get distinct export lanes", failures)
+
+    # 3. ambient-tracer scoping
+    scoped = Tracer(clock=ManualClock(tick=1.0))
+    with use_tracer(scoped) as ambient:
+        with ambient.span("scoped"):
+            pass
+    _check(len(scoped.finished()) == 1, "use_tracer scopes the ambient "
+           "tracer", failures)
+
+    # 4. metrics semantics incl. histogram boundaries
+    registry = MetricsRegistry()
+    registry.counter("tasks_total", status="ok").inc(3)
+    registry.gauge("fom_seconds", benchmark="demo").set(1.5)
+    hist = Histogram(buckets=(0.1, 1.0, 10.0))
+    for value, bucket in ((0.1, 0), (0.100001, 1), (1.0, 1), (10.0, 2),
+                          (10.5, 3)):
+        before = list(hist.counts)
+        hist.observe(value)
+        _check(hist.counts[bucket] == before[bucket] + 1,
+               f"histogram boundary: {value} -> bucket {bucket}", failures)
+    snap = registry.snapshot()
+    _check(snap["counters"]["tasks_total{status=ok}"] == 3.0,
+           "counter snapshot", failures)
+    delta = MetricsRegistry.delta(snap, registry.snapshot())
+    _check(delta["counters"]["tasks_total{status=ok}"] == 0.0,
+           "snapshot delta", failures)
+
+    # 5. JSONL sink round-trip + schema validation
+    buffer = io.StringIO()
+    sink = JsonlSink(buffer)
+    tracer2 = Tracer(clock=ManualClock(tick=0.5))
+    tracer2.subscribe(sink)
+    with tracer2.span("task:demo", kind="task", index=0, label="demo",
+                      status="ok", cache="off", attempts=1):
+        pass
+    emit_vmpi(tracer2, "Demo", 1,
+              _FakeSpmd([_FakeRankTrace({"step": 2.0}, {"halo": 1.0}),
+                         _FakeRankTrace({"step": 2.1}, {"halo": 0.9})]))
+    lines = [line for line in buffer.getvalue().splitlines() if line]
+    _check(len(lines) == 1 + 1 + 4, "sink wrote meta + span + 4 vmpi "
+           "lines", failures)
+    try:
+        events = [validate_event(json.loads(line)) for line in lines]
+    except ValueError as exc:
+        failures.append(f"schema round-trip: {exc}")
+        events = []
+
+    # 6. Chrome export shape: ranks as tids, compute/comm slices
+    if events:
+        chrome = chrome_trace_events(tracer2.finished(), tracer2.events())
+        slices = [e for e in chrome if e.get("ph") == "X"]
+        rank_tids = {e["tid"] for e in slices if e["pid"] >= 100}
+        cats = {e["cat"] for e in slices if e["pid"] >= 100}
+        _check(rank_tids == {0, 1}, "vmpi ranks map to tids", failures)
+        _check(cats == {"compute", "comm"},
+               "compute and comm slices present", failures)
+        _check(all(e["dur"] >= 0 and e["ts"] >= 0 for e in slices),
+               "chrome slices have sane timestamps", failures)
+
+    return failures
+
+
+def main() -> int:
+    failures = run_selfcheck()
+    if failures:
+        for what in failures:
+            print(f"telemetry selfcheck: FAIL -- {what}")
+        return 1
+    print("telemetry selfcheck: OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

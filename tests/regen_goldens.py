@@ -24,6 +24,43 @@ GOLDEN_DIR = Path(__file__).parent / "goldens"
 SCALING_BENCHMARK = "Arbor"
 
 
+def build_telemetry_tracer(subscriber=None):
+    """The deterministic trace behind the telemetry golden files.
+
+    A :class:`~repro.telemetry.ManualClock` stamps the timestamps, the
+    span tree is fixed (driver -> benchmark, plus a retroactive task
+    span) and a two-rank vmpi cost table mimics an SPMD run -- so the
+    JSONL and Chrome exports are byte-stable across regenerations.
+    """
+    from repro.telemetry import ManualClock, Tracer, emit_vmpi
+
+    class _RankTrace:
+        def __init__(self, compute, comm):
+            self.compute = compute
+            self.comm = comm
+
+    class _Spmd:
+        def __init__(self, traces):
+            self.traces = traces
+
+    tracer = Tracer(clock=ManualClock(start=0.0, tick=0.25))
+    if subscriber is not None:
+        tracer.subscribe(subscriber)
+    spmd = _Spmd([
+        _RankTrace({"channels": 1.5, "cable": 1.0}, {"exchange": 0.25}),
+        _RankTrace({"channels": 1.25, "cable": 1.125}, {"exchange": 0.375}),
+    ])
+    with tracer.span("suite.run_all", kind="driver", benchmarks=1):
+        with tracer.span("run:Arbor", kind="benchmark", benchmark="Arbor"):
+            emit_vmpi(tracer, "Arbor", 2, spmd)
+        tracer.add_span(
+            "task:run:Arbor", 0.5, 1.0, attrs={
+                "kind": "task", "index": 0, "label": "run:Arbor",
+                "status": "ok", "cache": "miss", "attempts": 1,
+                "key": None, "error": None})
+    return tracer
+
+
 def regenerate() -> dict[str, Path]:
     from repro.core import load_suite
 
@@ -55,7 +92,17 @@ def regenerate() -> dict[str, Path]:
         "points": [[p.nodes, p.runtime] for p in study.points],
     }, indent=2, sort_keys=True) + "\n")
 
-    return {"foms": foms_path, "curve": curve_path}
+    from repro.telemetry import JsonlSink, write_chrome_trace
+
+    trace_path = GOLDEN_DIR / "telemetry_trace.jsonl"
+    with open(trace_path, "w", encoding="utf-8") as fh:
+        tracer = build_telemetry_tracer(subscriber=JsonlSink(fh))
+    chrome_path = GOLDEN_DIR / "telemetry_chrome.json"
+    write_chrome_trace(chrome_path, tracer)
+
+    return {"foms": foms_path, "curve": curve_path,
+            "telemetry_trace": trace_path,
+            "telemetry_chrome": chrome_path}
 
 
 if __name__ == "__main__":

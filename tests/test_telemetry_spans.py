@@ -1,0 +1,211 @@
+"""Unit tests of the span tracer (repro.telemetry.spans): nesting and
+ordering, deterministic clocks, grafting, the ambient-tracer plumbing
+and thread safety under a multi-thread hammer."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TRACER,
+    ManualClock,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    traced,
+    use_tracer,
+)
+
+
+class TestNesting:
+    def test_parent_child_links_and_clock(self):
+        tracer = Tracer(clock=ManualClock(start=0.0, tick=1.0))
+        with tracer.span("outer", kind="driver") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        spans = tracer.finished()
+        # completion order: inner closes first
+        assert [s.name for s in spans] == ["inner", "outer"]
+        by_name = {s.name: s for s in spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+        # ManualClock(tick=1): outer@0, inner@1, inner-end@2, outer-end@3
+        assert (by_name["outer"].start, by_name["outer"].end) == (0.0, 3.0)
+        assert (by_name["inner"].start, by_name["inner"].end) == (1.0, 2.0)
+        assert by_name["inner"].duration == 1.0
+        assert outer.span_id != inner.span_id
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer(clock=ManualClock())
+        with tracer.span("parent") as parent:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        kids = tracer.children(parent.span_id)
+        assert sorted(s.name for s in kids) == ["a", "b"]
+        assert [s.name for s in tracer.roots()] == ["parent"]
+
+    def test_set_updates_attrs_mid_span(self):
+        tracer = Tracer(clock=ManualClock())
+        with tracer.span("work", phase="start") as span:
+            span.set(phase="end", status="ok")
+        record = tracer.finished()[0]
+        assert record.attrs == {"phase": "end", "status": "ok"}
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer(clock=ManualClock())
+        with pytest.raises(ValueError, match="kaput"):
+            with tracer.span("doomed"):
+                raise ValueError("kaput")
+        record = tracer.finished()[0]
+        assert record.attrs["error"] == "ValueError: kaput"
+
+    def test_add_span_defaults_to_open_parent(self):
+        tracer = Tracer(clock=ManualClock())
+        with tracer.span("parent") as parent:
+            span_id = tracer.add_span("retro", 1.0, 2.0,
+                                      attrs={"kind": "task"})
+        retro = [s for s in tracer.finished() if s.name == "retro"][0]
+        assert retro.span_id == span_id
+        assert retro.parent_id == parent.span_id
+        assert (retro.start, retro.end) == (1.0, 2.0)
+
+
+class TestGraft:
+    def test_graft_remaps_rebases_and_reparents(self):
+        worker = Tracer(clock=ManualClock(start=0.0, tick=1.0))
+        with worker.span("attempt", n=1):
+            with worker.span("step"):
+                pass
+        parent = Tracer(clock=ManualClock(start=100.0, tick=1.0))
+        with parent.span("task") as task:
+            pass
+        parent.graft(worker.finished(), offset=50.0,
+                     parent_id=task.span_id, thread=7)
+        by_name = {s.name: s for s in parent.finished()}
+        attempt, step = by_name["attempt"], by_name["step"]
+        # roots re-parent onto the task; children follow the remapping
+        assert attempt.parent_id == task.span_id
+        assert step.parent_id == attempt.span_id
+        assert {attempt.span_id, step.span_id}.isdisjoint(
+            {s.span_id for s in worker.finished()} & {task.span_id})
+        # worker clocks shift by the offset onto the parent domain
+        assert (attempt.start, attempt.end) == (50.0, 53.0)
+        assert (step.start, step.end) == (51.0, 52.0)
+        # everything moves onto the requested export lane
+        assert attempt.thread == step.thread == 7
+
+    def test_graft_subscribers_see_adopted_spans(self):
+        class Sink:
+            def __init__(self):
+                self.names = []
+
+            def on_span(self, record):
+                self.names.append(record.name)
+
+        worker = Tracer(clock=ManualClock())
+        with worker.span("inner"):
+            pass
+        parent = Tracer(clock=ManualClock())
+        sink = Sink()
+        parent.subscribe(sink)
+        parent.graft(worker.finished())
+        assert sink.names == ["inner"]
+
+
+class TestAmbient:
+    def test_default_is_null_tracer(self):
+        assert current_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_null_tracer_is_a_cheap_noop(self):
+        handle1 = NULL_TRACER.span("a", x=1)
+        handle2 = NULL_TRACER.span("b")
+        assert handle1 is handle2  # shared handle: no per-span alloc
+        with NULL_TRACER.span("c") as span:
+            span.set(anything="goes")
+        NULL_TRACER.emit({"type": "vmpi"})
+        assert NULL_TRACER.finished() == []
+        assert NULL_TRACER.events() == []
+
+    def test_use_tracer_scopes_thread_locally(self):
+        tracer = Tracer(clock=ManualClock())
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with current_tracer().span("scoped"):
+                pass
+        assert current_tracer() is NULL_TRACER
+        assert [s.name for s in tracer.finished()] == ["scoped"]
+
+    def test_install_tracer_globally(self):
+        tracer = Tracer(clock=ManualClock())
+        install_tracer(tracer)
+        try:
+            assert current_tracer() is tracer
+        finally:
+            install_tracer(None)
+        assert current_tracer() is NULL_TRACER
+
+    def test_traced_decorator(self):
+        tracer = Tracer(clock=ManualClock())
+
+        @traced("compute", kind="step")
+        def work(x):
+            return x + 1
+
+        with use_tracer(tracer):
+            assert work(1) == 2
+        record = tracer.finished()[0]
+        assert record.name == "compute"
+        assert record.attrs == {"kind": "step"}
+
+
+class TestThreadHammer:
+    THREADS = 8
+    REPEATS = 50
+
+    def test_parallel_nesting_stays_isolated(self):
+        """8 threads hammer one tracer with nested spans; every chain
+        must keep its own parenting and its own export lane."""
+        tracer = Tracer()
+        barrier = threading.Barrier(self.THREADS)
+        errors = []
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for _ in range(self.REPEATS):
+                    with tracer.span(f"t{tid}-outer"):
+                        with tracer.span(f"t{tid}-mid"):
+                            with tracer.span(f"t{tid}-inner"):
+                                pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(tid,))
+                   for tid in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        spans = tracer.finished()
+        assert len(spans) == self.THREADS * self.REPEATS * 3
+        by_id = {s.span_id: s for s in spans}
+        lanes = {}
+        for span in spans:
+            tid = span.name.split("-")[0]
+            # each thread occupies exactly one export lane
+            lanes.setdefault(tid, set()).add(span.thread)
+            # parenting never crosses threads
+            if span.name.endswith("-inner"):
+                assert by_id[span.parent_id].name == f"{tid}-mid"
+            elif span.name.endswith("-mid"):
+                assert by_id[span.parent_id].name == f"{tid}-outer"
+            else:
+                assert span.parent_id is None
+            assert span.end >= span.start
+        assert all(len(v) == 1 for v in lanes.values())
+        assert len({lane for v in lanes.values() for lane in v}) == \
+            self.THREADS
