@@ -36,7 +36,8 @@ class PottsModel:
     target_volume: float
     lambda_volume: float = 1.0
     temperature: float = 1.0
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0))
 
     def __post_init__(self) -> None:
         if self.lattice.ndim not in (2, 3):

@@ -35,7 +35,8 @@ class ScmfSystem:
     bond_k: float = 3.0
     kappa: float = 0.0
     rho0: float = 0.0
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0))
 
     @classmethod
     def ideal_melt(cls, n_chains: int, beads_per_chain: int, box: float,

@@ -1,0 +1,47 @@
+"""``repro.check``: suite-invariant static analyzer + runtime sanitizers.
+
+The paper's procurement methodology only works because benchmark runs
+are replicable; this package machine-checks the invariants the rest of
+the codebase silently assumes:
+
+* **determinism** (DET001/DET002) -- no wall clocks or unseeded RNG in
+  model code, where they would poison the content-addressed cache key;
+* **contracts** (CON101..CON104) -- every registered benchmark declares
+  a FOM, High-Scaling variants keep T<S<M<L fraction order, ``$param``
+  references resolve, unit prefixes are not abused as quantities;
+* **concurrency** (LCK201 + :class:`LockOrderWatcher`) -- module-level
+  state is mutated under a lock, and lock acquisition order stays
+  acyclic at runtime.
+
+Run it as ``jubench check`` or ``python -m repro.check``.
+"""
+
+from .engine import Analyzer, CheckReport, runtime_contract_findings
+from .findings import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    Severity,
+    load_baseline,
+    save_baseline,
+)
+from .reporters import render_human, render_json, render_sarif
+from .rules import RULE_CLASSES, default_rules, rule_ids
+from .sanitizer import (
+    LockGraph,
+    LockOrderError,
+    LockOrderWatcher,
+    install,
+    install_from_env,
+    installed_graph,
+    uninstall,
+)
+
+__all__ = [
+    "Analyzer", "Baseline", "BaselineEntry", "CheckReport", "Finding",
+    "LockGraph", "LockOrderError", "LockOrderWatcher", "RULE_CLASSES",
+    "Severity", "default_rules", "install", "install_from_env",
+    "installed_graph", "load_baseline", "render_human", "render_json",
+    "render_sarif", "rule_ids", "runtime_contract_findings",
+    "save_baseline", "uninstall",
+]

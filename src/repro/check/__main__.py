@@ -1,0 +1,10 @@
+"""``python -m repro.check`` -- alias of ``jubench check``."""
+
+from __future__ import annotations
+
+import sys
+
+from ..cli import main
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(["check", *sys.argv[1:]]))

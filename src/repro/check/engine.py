@@ -1,0 +1,242 @@
+"""The analyzer engine: walk a tree, run rules, classify findings.
+
+The engine parses every ``*.py`` file under a root, runs each enabled
+rule over the ASTs, then classifies the raw findings three ways:
+
+* **suppressed** -- an inline ``# repro: allow(RULE-ID): why`` comment
+  on the finding line (or the line above) opts one site out;
+* **baselined** -- the committed ``check-baseline.json`` covers known,
+  justified findings so legacy sites never fail CI;
+* **active** -- everything else; any active finding fails the run.
+
+``--strict`` additionally fails suppressions and baseline entries that
+carry no justification text: an exemption without a reason is a bug.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Baseline, BaselineEntry, Finding, Severity
+from .rules import Collector, ModuleInfo, Rule, default_rules
+
+_ALLOW = re.compile(
+    r"#\s*repro:\s*allow\(\s*([A-Za-z0-9_*,\s-]+?)\s*\)(?:\s*:\s*(\S.*))?")
+
+
+@dataclass
+class CheckReport:
+    """Classified outcome of one analyzer run."""
+
+    active: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    unused_baseline: list[BaselineEntry] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: list[Rule] = field(default_factory=list)
+
+    def strict_violations(self) -> list[Finding]:
+        """Suppressed/baselined findings carrying no justification."""
+        out = []
+        for f in self.suppressed + self.baselined:
+            if not f.justification.strip():
+                out.append(Finding(
+                    rule="SUP001", severity=Severity.ERROR, path=f.path,
+                    line=f.line, snippet=f.snippet,
+                    message=f"suppression of {f.rule} has no "
+                            f"justification text (--strict)"))
+        return sorted(out, key=Finding.sort_key)
+
+    def failed(self, strict: bool = False) -> bool:
+        if self.active:
+            return True
+        return strict and bool(self.strict_violations())
+
+    def counts(self) -> dict[str, int]:
+        return {"active": len(self.active),
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+                "unused_baseline": len(self.unused_baseline),
+                "files": self.files_checked}
+
+
+class _ParseErrorRule(Rule):
+    """Synthetic rule id for files the parser rejects."""
+
+    id = "ENG001"
+    name = "parse-error"
+    severity = Severity.ERROR
+    description = "A source file under analysis failed to parse."
+
+
+class Analyzer:
+    """Run a set of rules over a source tree.
+
+    ``only``/``disable`` filter by rule id (the per-rule
+    enable/disable switch); ``baseline`` holds the committed known
+    findings.
+    """
+
+    def __init__(self, rules: Iterable[Rule] | None = None, *,
+                 baseline: Baseline | None = None,
+                 only: Iterable[str] = (),
+                 disable: Iterable[str] = ()) -> None:
+        self.rules = list(rules) if rules is not None else default_rules()
+        only_set = set(only)
+        disable_set = set(disable)
+        known = {r.id for r in self.rules}
+        unknown = (only_set | disable_set) - known
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}")
+        if only_set:
+            self.rules = [r for r in self.rules if r.id in only_set]
+        self.rules = [r for r in self.rules if r.id not in disable_set]
+        self.baseline = baseline or Baseline()
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, root: str | Path,
+            rel_base: str | Path | None = None) -> CheckReport:
+        """Analyze every ``*.py`` under ``root``.
+
+        ``rel_base`` anchors reported paths (default: ``root``'s
+        parent, so findings read ``repro/...``); pass the repository
+        root to get ``src/repro/...`` paths that match the baseline.
+        """
+        root = Path(root).resolve()
+        base = Path(rel_base).resolve() if rel_base else root.parent
+        out = Collector()
+        modules: list[ModuleInfo] = []
+        parse_rule = _ParseErrorRule()
+        files = sorted(p for p in root.rglob("*.py") if p.is_file())
+        for path in files:
+            try:
+                relpath = path.relative_to(base).as_posix()
+            except ValueError:
+                relpath = path.as_posix()
+            text = path.read_text(encoding="utf-8")
+            lines = text.splitlines()
+            out.register_source(relpath, lines)
+            try:
+                tree = ast.parse(text, filename=str(path))
+            except SyntaxError as exc:
+                out.add(parse_rule, relpath, exc.lineno or 1,
+                        f"syntax error: {exc.msg}")
+                continue
+            modules.append(ModuleInfo(path=path, relpath=relpath,
+                                      tree=tree, lines=lines))
+        for module in modules:
+            for rule in self.rules:
+                if rule.applies_to(module.relpath):
+                    rule.check_module(module, out)
+        for rule in self.rules:
+            rule.finalize(out)
+        report = self._classify(out, files_checked=len(files))
+        report.rules_run = list(self.rules)
+        return report
+
+    # -- classification ------------------------------------------------------
+
+    def classify(self, findings: Iterable[Finding],
+                 sources: dict[str, list[str]]) -> CheckReport:
+        """Classify externally produced findings (tests, runtime checks)."""
+        out = Collector(findings=list(findings), _sources=dict(sources))
+        return self._classify(out, files_checked=0)
+
+    def _classify(self, out: Collector, *,
+                  files_checked: int) -> CheckReport:
+        report = CheckReport(files_checked=files_checked)
+        for finding in sorted(out.findings, key=Finding.sort_key):
+            suppression = self._suppression_for(finding, out)
+            if suppression is not None:
+                finding.justification = suppression
+                report.suppressed.append(finding)
+                continue
+            entry = self.baseline.match(finding)
+            if entry is not None:
+                finding.justification = entry.justification
+                report.baselined.append(finding)
+                continue
+            report.active.append(finding)
+        report.unused_baseline = self.baseline.unused()
+        return report
+
+    @staticmethod
+    def _suppression_for(finding: Finding,
+                         out: Collector) -> str | None:
+        """The inline-allow justification covering a finding, if any.
+
+        Looks at the finding line itself, then at an immediately
+        preceding pure-comment line.  Returns the justification text
+        (possibly empty) when a matching allow comment exists.
+        """
+        lines = out._sources.get(finding.path)
+        if not lines:
+            return None
+        candidates = []
+        if 0 < finding.line <= len(lines):
+            candidates.append(lines[finding.line - 1])
+        prev = finding.line - 2
+        if 0 <= prev < len(lines) and lines[prev].lstrip().startswith("#"):
+            candidates.append(lines[prev])
+        for text in candidates:
+            match = _ALLOW.search(text)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",")}
+            if finding.rule in ids or "*" in ids:
+                return match.group(2) or ""
+        return None
+
+
+def runtime_contract_findings() -> list[Finding]:
+    """Dynamic contract verification against the *live* registry.
+
+    Complements the AST rules: catches FOMs assigned in ``__init__``,
+    variants built dynamically, and anything else static analysis
+    cannot see.  Clean at HEAD; any regression shows up as a CON101 /
+    CON102 finding anchored at the registry module.
+    """
+    from ..core.benchmark import Category
+    from ..core.fom import FigureOfMerit
+    from ..core.registry import BENCHMARKS
+    from ..core.suite import load_suite
+
+    registry_path = "src/repro/core/registry.py"
+    findings: list[Finding] = []
+    for info in BENCHMARKS:
+        if Category.HIGH_SCALING not in info.categories:
+            continue
+        fractions = [v.fraction for v in info.variants]
+        if not fractions:
+            findings.append(Finding(
+                rule="CON102", severity=Severity.ERROR,
+                path=registry_path, line=1,
+                snippet=f"<runtime: {info.name}>",
+                message=f"{info.name}: High-Scaling benchmark has no "
+                        f"memory variants at runtime"))
+        elif any(b <= a for a, b in zip(fractions, fractions[1:])):
+            findings.append(Finding(
+                rule="CON102", severity=Severity.ERROR,
+                path=registry_path, line=1,
+                snippet=f"<runtime: {info.name}>",
+                message=f"{info.name}: memory-variant fractions "
+                        f"{fractions} are not strictly increasing"))
+    suite = load_suite()
+    for name in suite.names():
+        bench = suite.get(name)
+        fom = getattr(bench, "fom", None)
+        if not isinstance(fom, FigureOfMerit):
+            findings.append(Finding(
+                rule="CON101", severity=Severity.ERROR,
+                path=registry_path, line=1,
+                snippet=f"<runtime: {name}>",
+                message=f"{name}: registered implementation "
+                        f"{type(bench).__name__} has no FigureOfMerit"))
+    return findings

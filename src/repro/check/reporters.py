@@ -1,0 +1,129 @@
+"""Reporters: human-readable, JSON, and SARIF 2.1.0 output.
+
+The SARIF document is what the CI ``check`` job uploads through
+``github/codeql-action/upload-sarif`` -- findings then appear as code
+scanning alerts on the PR.  Suppressed and baselined findings are
+included with SARIF ``suppressions`` records (``inSource`` for inline
+allows, ``external`` for baseline entries) so the alert history stays
+complete without failing the run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .engine import CheckReport
+from .findings import Finding
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "repro.check"
+TOOL_VERSION = "1.0.0"
+
+
+def render_human(report: CheckReport, *, strict: bool = False) -> str:
+    """Terminal rendering: findings, then a one-line verdict."""
+    lines: list[str] = []
+    for finding in report.active:
+        lines.append(finding.render())
+    if strict:
+        for finding in report.strict_violations():
+            lines.append(finding.render())
+    for finding in report.suppressed:
+        note = finding.justification or "(no justification)"
+        lines.append(f"{finding.path}:{finding.line}: suppressed "
+                     f"{finding.rule}: {note}")
+    for finding in report.baselined:
+        note = finding.justification or "(no justification)"
+        lines.append(f"{finding.path}:{finding.line}: baselined "
+                     f"{finding.rule}: {note}")
+    for entry in report.unused_baseline:
+        lines.append(f"stale baseline entry: {entry.rule} at "
+                     f"{entry.path} ({entry.snippet!r}) matched "
+                     f"nothing; prune it")
+    counts = report.counts()
+    verdict = "FAILED" if report.failed(strict) else "ok"
+    lines.append(f"check {verdict}: {counts['files']} files, "
+                 f"{counts['active']} finding(s), "
+                 f"{counts['suppressed']} suppressed, "
+                 f"{counts['baselined']} baselined")
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport, *, strict: bool = False) -> str:
+    """Machine-readable JSON (stable ordering, trailing newline)."""
+    payload = {
+        "tool": {"name": TOOL_NAME, "version": TOOL_VERSION},
+        "summary": dict(report.counts(), failed=report.failed(strict)),
+        "findings": [f.to_dict() for f in report.active],
+        "strict_violations": [f.to_dict()
+                              for f in report.strict_violations()]
+        if strict else [],
+        "suppressed": [f.to_dict() for f in report.suppressed],
+        "baselined": [f.to_dict() for f in report.baselined],
+        "unused_baseline": [e.to_dict()
+                            for e in report.unused_baseline],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_result(finding: Finding, rule_index: dict[str, int],
+                  suppression: dict[str, Any] | None) -> dict[str, Any]:
+    region: dict[str, Any] = {"startLine": max(1, finding.line)}
+    if finding.snippet:
+        region["snippet"] = {"text": finding.snippet}
+    result: dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": finding.severity.value,
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": region,
+            },
+        }],
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    if suppression is not None:
+        result["suppressions"] = [suppression]
+    return result
+
+
+def render_sarif(report: CheckReport) -> str:
+    """A valid SARIF 2.1.0 document covering the whole run."""
+    rules = [{
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": rule.severity.value},
+    } for rule in report.rules_run]
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results: list[dict[str, Any]] = []
+    for finding in report.active:
+        results.append(_sarif_result(finding, rule_index, None))
+    for finding in report.suppressed:
+        results.append(_sarif_result(finding, rule_index, {
+            "kind": "inSource",
+            "justification": finding.justification or ""}))
+    for finding in report.baselined:
+        results.append(_sarif_result(finding, rule_index, {
+            "kind": "external",
+            "justification": finding.justification or ""}))
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": TOOL_NAME,
+                "version": TOOL_VERSION,
+                "informationUri": "https://github.com/FZJ-JSC/"
+                                  "jubench",
+                "rules": rules,
+            }},
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

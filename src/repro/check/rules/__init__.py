@@ -1,0 +1,37 @@
+"""The rule registry: every shipped rule, instantiable per run."""
+
+from __future__ import annotations
+
+from .base import Collector, ModuleInfo, Rule
+from .concurrency import UnlockedModuleStateRule
+from .contracts import (
+    FomDeclaredRule,
+    ParamResolutionRule,
+    UnitArithmeticRule,
+    VariantOrderRule,
+)
+from .determinism import UnseededRngRule, WallClockRule
+
+#: rule classes in id order; ``default_rules()`` instantiates fresh ones
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    WallClockRule,        # DET001
+    UnseededRngRule,      # DET002
+    FomDeclaredRule,      # CON101
+    VariantOrderRule,     # CON102
+    ParamResolutionRule,  # CON103
+    UnitArithmeticRule,   # CON104
+    UnlockedModuleStateRule,  # LCK201
+)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every shipped rule (they hold run state)."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def rule_ids() -> list[str]:
+    return [cls.id for cls in RULE_CLASSES]
+
+
+__all__ = ["Collector", "ModuleInfo", "Rule", "RULE_CLASSES",
+           "default_rules", "rule_ids"]

@@ -1,0 +1,161 @@
+"""Rule plumbing: the visitor registry and shared AST helpers.
+
+A :class:`Rule` inspects one module at a time through
+:meth:`Rule.check_module` and may emit cross-module findings from
+:meth:`Rule.finalize` (e.g. the FOM contract, which needs both the
+registry and every benchmark class).  Findings are reported through the
+:class:`Collector` the engine passes in; the engine fills in snippets,
+applies inline suppressions and the baseline afterwards.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..findings import Finding, Severity
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module under analysis."""
+
+    path: Path
+    relpath: str          # posix path relative to the repository root
+    tree: ast.Module
+    lines: list[str]
+
+    def segments(self) -> tuple[str, ...]:
+        return tuple(self.relpath.split("/"))
+
+
+@dataclass
+class Collector:
+    """Finding sink handed to rules; snippets come from module sources."""
+
+    findings: list[Finding] = field(default_factory=list)
+    _sources: dict[str, list[str]] = field(default_factory=dict)
+
+    def register_source(self, relpath: str, lines: list[str]) -> None:
+        self._sources[relpath] = lines
+
+    def add(self, rule: "Rule", relpath: str, line: int,
+            message: str, *, severity: Severity | None = None,
+            snippet: str | None = None) -> None:
+        if snippet is None:
+            lines = self._sources.get(relpath, ())
+            snippet = (lines[line - 1].strip()
+                       if 0 < line <= len(lines) else "")
+        self.findings.append(Finding(
+            rule=rule.id, severity=severity or rule.severity,
+            path=relpath, line=line, message=message, snippet=snippet))
+
+
+class Rule:
+    """Base class of all static-analysis rules.
+
+    Subclasses set the identity attributes and override
+    :meth:`check_module` (and optionally :meth:`applies_to` /
+    :meth:`finalize`).  One rule instance sees the whole run, so it may
+    accumulate cross-module state for :meth:`finalize`.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: Severity = Severity.WARNING
+    description: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        return True
+
+    def check_module(self, module: ModuleInfo, out: Collector) -> None:
+        raise NotImplementedError
+
+    def finalize(self, out: Collector) -> None:
+        """Emit findings that need the whole-project view."""
+
+
+# -- shared AST helpers ------------------------------------------------------
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to canonical dotted origins.
+
+    ``import numpy as np`` -> ``np: numpy``; ``from time import
+    perf_counter as pc`` -> ``pc: time.perf_counter``; relative imports
+    are canonicalised by their module path with the dots stripped
+    (``from ..units import GIGA`` -> ``GIGA: units.GIGA``).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.asname:
+                    aliases[a.asname] = a.name
+                else:
+                    head = a.name.split(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                full = f"{base}.{a.name}" if base else a.name
+                aliases[a.asname or a.name] = full
+    return aliases
+
+
+def dotted_parts(node: ast.AST) -> list[str] | None:
+    """The ``a.b.c`` name chain of an expression, or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def canonical_name(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Canonical dotted name of an expression after alias resolution."""
+    parts = dotted_parts(node)
+    if not parts:
+        return None
+    head = aliases.get(parts[0])
+    if head is None:
+        return ".".join(parts)
+    return ".".join([head, *parts[1:]])
+
+
+def assigned_names(target: ast.AST) -> list[ast.Name]:
+    """All plain names assigned by a target (handles tuple unpacking)."""
+    if isinstance(target, ast.Name):
+        return [target]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[ast.Name] = []
+        for elt in target.elts:
+            out.extend(assigned_names(elt))
+        return out
+    return []
+
+
+def walk_functions(tree: ast.Module) -> list[ast.FunctionDef]:
+    """Every function/method in the module, including nested ones."""
+    return [n for n in ast.walk(tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+
+def iter_direct_body(fn: ast.AST,
+                     skip: Callable[[ast.AST], bool]) -> list[ast.AST]:
+    """All nodes reachable from ``fn`` without entering ``skip`` nodes."""
+    out: list[ast.AST] = []
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if skip(node):
+            continue
+        out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out

@@ -1,0 +1,292 @@
+"""Runtime sanitizers: the lock-order watcher.
+
+Static analysis proves lock *presence*; it cannot prove lock *order*.
+:class:`LockOrderWatcher` wraps a real lock and records, per thread,
+which locks are held when another is acquired.  The resulting
+acquisition graph must stay acyclic: an ``A -> B`` edge (B acquired
+while holding A) followed by a ``B -> A`` edge somewhere else is a
+deadlock schedule waiting to happen, and the watcher raises
+:class:`LockOrderError` naming both acquisition sites the moment the
+second edge appears -- no need to actually hit the deadlock.
+
+:func:`install` swaps :func:`threading.Lock` / :func:`threading.RLock`
+for watcher factories process-wide, so every lock created afterwards
+(engine pools, caches, tracers) is checked.  Tests opt in with
+``REPRO_SANITIZE=1`` (see ``tests/conftest.py``); the CLI exposes it as
+``jubench check --sanitize``.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+class LockOrderError(RuntimeError):
+    """A lock-acquisition ordering cycle (potential deadlock)."""
+
+
+def _call_site(skip_module: str = __name__) -> str:
+    """``file:line`` of the first frame outside this module."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "")
+        if module != skip_module:
+            return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class LockGraph:
+    """The process-wide acquisition graph shared by all watchers.
+
+    Nodes are individual lock objects (by name); a directed edge
+    ``A -> B`` records that some thread acquired B while holding A,
+    together with both acquisition sites.  The graph must stay acyclic.
+    """
+
+    def __init__(self) -> None:
+        # must be a *real* lock: watchers call in here on every acquire
+        self._mutex = _REAL_LOCK()
+        self._tls = threading.local()
+        #: (held_name, acquired_name) -> (held_site, acquire_site)
+        self.edges: dict[tuple[str, str], tuple[str, str]] = {}
+        self.locks_created = 0
+        self.acquisitions = 0
+
+    # -- per-thread held stack ----------------------------------------------
+
+    def _held(self) -> list[tuple["LockOrderWatcher", str]]:
+        stack = getattr(self._tls, "held", None)
+        if stack is None:
+            stack = self._tls.held = []
+        return stack
+
+    def holds(self, watcher: "LockOrderWatcher") -> bool:
+        return any(w is watcher for w, _ in self._held())
+
+    def push(self, watcher: "LockOrderWatcher", site: str) -> None:
+        self._held().append((watcher, site))
+
+    def pop(self, watcher: "LockOrderWatcher") -> None:
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i][0] is watcher:
+                del held[i]
+                return
+
+    # -- ordering ------------------------------------------------------------
+
+    def before_acquire(self, watcher: "LockOrderWatcher",
+                       site: str) -> None:
+        """Record edges held -> watcher; raise on an ordering cycle."""
+        held = [(w, s) for w, s in self._held() if w is not watcher]
+        if not held:
+            with self._mutex:
+                self.acquisitions += 1
+            return
+        with self._mutex:
+            self.acquisitions += 1
+            for held_watcher, held_site in held:
+                edge = (held_watcher.name, watcher.name)
+                if edge in self.edges:
+                    continue
+                path = self._find_path(watcher.name, held_watcher.name)
+                if path is not None:
+                    raise self._cycle_error(held_watcher, held_site,
+                                            watcher, site, path)
+                self.edges[edge] = (held_site, site)
+
+    def _find_path(self, start: str, goal: str) -> list[str] | None:
+        """A directed path start -> ... -> goal in the edge graph."""
+        adjacency: dict[str, list[str]] = {}
+        for a, b in self.edges:
+            adjacency.setdefault(a, []).append(b)
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    def _cycle_error(self, held: "LockOrderWatcher", held_site: str,
+                     acquiring: "LockOrderWatcher", site: str,
+                     path: list[str]) -> LockOrderError:
+        reverse_sites = []
+        for a, b in zip(path, path[1:]):
+            sa, sb = self.edges[(a, b)]
+            reverse_sites.append(f"  {a} (held, acquired at {sa}) -> "
+                                 f"{b} (acquired at {sb})")
+        chain = " -> ".join(path)
+        return LockOrderError(
+            f"lock-order cycle: acquiring {acquiring.name} at {site} "
+            f"while holding {held.name} (acquired at {held_site}) "
+            f"inverts the established order {chain}:\n"
+            + "\n".join(reverse_sites))
+
+    def snapshot(self) -> dict[str, int]:
+        with self._mutex:
+            return {"locks": self.locks_created,
+                    "acquisitions": self.acquisitions,
+                    "edges": len(self.edges)}
+
+
+_DEFAULT_GRAPH = LockGraph()
+
+
+def default_graph() -> LockGraph:
+    return _DEFAULT_GRAPH
+
+
+class LockOrderWatcher:
+    """A lock that participates in lock-order checking.
+
+    Wraps a real :func:`threading.Lock` (or RLock when ``reentrant``);
+    implements the full lock protocol including the private methods
+    :class:`threading.Condition` relies on, so watchers are drop-in
+    even inside stdlib machinery (queues, executors).
+    """
+
+    def __init__(self, name: str | None = None, *,
+                 reentrant: bool = False,
+                 graph: LockGraph | None = None) -> None:
+        self._graph = graph if graph is not None else default_graph()
+        self._inner = _REAL_RLOCK() if reentrant else _REAL_LOCK()
+        self._reentrant = reentrant
+        with self._graph._mutex:
+            self._graph.locks_created += 1
+            serial = self._graph.locks_created
+        kind = "rlock" if reentrant else "lock"
+        self.name = name or f"{kind}#{serial}@{_call_site()}"
+
+    # -- core protocol -------------------------------------------------------
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool:
+        site = _call_site()
+        already_held = self._graph.holds(self)
+        if already_held and not self._reentrant and blocking:
+            raise LockOrderError(
+                f"self-deadlock: thread re-acquiring non-reentrant "
+                f"{self.name} at {site} while already holding it")
+        if not already_held:
+            self._graph.before_acquire(self, site)
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._graph.push(self, site)
+        return ok
+
+    def release(self) -> None:
+        self._inner.release()
+        self._graph.pop(self)
+
+    def __enter__(self) -> "LockOrderWatcher":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        locked = getattr(self._inner, "locked", None)
+        if locked is not None:
+            return locked()
+        # pre-3.12 RLock: no locked(); a non-blocking probe would
+        # succeed reentrantly, so check ownership first
+        if self._reentrant and self._inner._is_owned():
+            return True
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"<LockOrderWatcher {self.name}>"
+
+    # -- threading.Condition protocol ---------------------------------------
+
+    def _at_fork_reinit(self) -> None:
+        self._inner._at_fork_reinit()
+        self._graph.pop(self)
+
+    def _is_owned(self) -> bool:
+        if self._reentrant:
+            return self._inner._is_owned()
+        return self._graph.holds(self)
+
+    def _release_save(self):  # noqa: ANN201 - opaque stdlib state
+        self._graph.pop(self)
+        if self._reentrant:
+            return self._inner._release_save()
+        self._inner.release()
+        return None
+
+    def _acquire_restore(self, state) -> None:
+        if self._reentrant:
+            self._inner._acquire_restore(state)
+        else:
+            self._inner.acquire()
+        self._graph.push(self, _call_site())
+
+
+# -- process-wide installation ----------------------------------------------
+
+_STATE_LOCK = _REAL_LOCK()
+_INSTALLED_GRAPH: LockGraph | None = None
+
+
+def install(graph: LockGraph | None = None) -> LockGraph:
+    """Replace threading.Lock/RLock with watcher factories.
+
+    Locks that already exist keep working untouched; every lock
+    created after this point joins the shared acquisition graph.
+    Idempotent; returns the active graph.
+    """
+    global _INSTALLED_GRAPH
+    with _STATE_LOCK:
+        if _INSTALLED_GRAPH is not None:
+            return _INSTALLED_GRAPH
+        active = graph if graph is not None else LockGraph()
+
+        def make_lock() -> LockOrderWatcher:
+            return LockOrderWatcher(graph=active)
+
+        def make_rlock() -> LockOrderWatcher:
+            return LockOrderWatcher(reentrant=True, graph=active)
+
+        threading.Lock = make_lock  # type: ignore[assignment]
+        threading.RLock = make_rlock  # type: ignore[assignment]
+        _INSTALLED_GRAPH = active
+        return active
+
+
+def uninstall() -> None:
+    """Restore the real lock factories (existing watchers keep working)."""
+    global _INSTALLED_GRAPH
+    with _STATE_LOCK:
+        threading.Lock = _REAL_LOCK  # type: ignore[assignment]
+        threading.RLock = _REAL_RLOCK  # type: ignore[assignment]
+        _INSTALLED_GRAPH = None
+
+
+def installed_graph() -> LockGraph | None:
+    """The active process-wide graph, if :func:`install` ran."""
+    with _STATE_LOCK:
+        return _INSTALLED_GRAPH
+
+
+def install_from_env(env_var: str = "REPRO_SANITIZE") -> LockGraph | None:
+    """Install when the environment opts in (``REPRO_SANITIZE=1``)."""
+    import os
+
+    if os.environ.get(env_var, "").strip() in {"1", "true", "yes", "on"}:
+        return install()
+    return None

@@ -9,6 +9,7 @@ Sub-commands::
     jubench fig2 [--apps A,B,...]      # Base strong-scaling study
     jubench fig3 [--nodes 8,16,...]    # High-Scaling weak-scaling study
     jubench report TRACE.jsonl         # re-render a saved trace offline
+    jubench check [--format sarif]     # static analysis + sanitizers
     jubench procurement                # demo TCO evaluation of proposals
 
 Execution commands accept engine options: ``--workers N`` fans
@@ -204,6 +205,79 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from . import check as chk
+
+    package_root = Path(__file__).resolve().parent
+    repo_root = package_root.parent.parent
+    baseline_path = Path(args.baseline) if args.baseline \
+        else repo_root / "check-baseline.json"
+    only = [r.strip() for r in args.rules.split(",") if r.strip()] \
+        if args.rules else ()
+    disable = [r.strip() for r in args.disable.split(",") if r.strip()] \
+        if args.disable else ()
+    analyzer = chk.Analyzer(baseline=chk.load_baseline(baseline_path),
+                            only=only, disable=disable)
+    report = analyzer.run(package_root, rel_base=repo_root)
+    if not args.no_runtime and not only and not disable:
+        extra = analyzer.classify(chk.runtime_contract_findings(), {})
+        report.active += extra.active
+        report.baselined += extra.baselined
+        report.unused_baseline = extra.unused_baseline
+    if args.write_baseline:
+        baseline = chk.Baseline.from_findings(
+            report.active + report.baselined)
+        count = chk.save_baseline(baseline_path, baseline)
+        print(f"baseline: {count} entrie(s) -> {baseline_path} "
+              f"(add a one-line justification per entry)")
+        return 0
+    if args.format == "sarif":
+        out = chk.render_sarif(report)
+    elif args.format == "json":
+        out = chk.render_json(report, strict=args.strict)
+    else:
+        out = chk.render_human(report, strict=args.strict)
+    if args.output:
+        Path(args.output).write_text(out, encoding="utf-8")
+        print(f"check: report -> {args.output}")
+    else:
+        print(out, end="" if out.endswith("\n") else "\n")
+    status = 1 if report.failed(args.strict) else 0
+    if args.sanitize:
+        status = max(status, _sanitize_smoke())
+    return status
+
+
+def _sanitize_smoke() -> int:
+    """Exercise the engine under the lock-order watcher."""
+    from .check import LockOrderError, install, uninstall
+    from .core.suite import load_suite
+
+    graph = install()
+    try:
+        engine = ExecutionEngine(workers=8, backend="thread",
+                                 cache=MemoryCache())
+        suite = load_suite()
+        suite.engine = engine
+        try:
+            suite.run_all(["Arbor", "JUQCS", "HPL", "STREAM"])
+            suite.run_all(["Arbor", "JUQCS", "HPL", "STREAM"])  # warm
+        finally:
+            suite.engine = None
+    except LockOrderError as exc:
+        print(f"sanitizer: FAILED\n{exc}")
+        return 1
+    finally:
+        uninstall()
+    stats = graph.snapshot()
+    print(f"sanitizer: ok -- {stats['locks']} lock(s), "
+          f"{stats['acquisitions']} acquisition(s), "
+          f"{stats['edges']} ordering edge(s), no cycles")
+    return 0
+
+
 def _cmd_procurement(_args: argparse.Namespace) -> int:
     from .cluster.hardware import jupiter_booster_model
 
@@ -291,6 +365,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace file from --trace-out FILE.jsonl or "
                         "--journal PATH")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("check",
+                       help="static analysis of suite invariants "
+                            "(determinism, contracts, locking) + "
+                            "runtime sanitizers")
+    p.add_argument("--format", choices=["human", "json", "sarif"],
+                   default="human", help="report format")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="baseline file (default: check-baseline.json "
+                        "at the repository root)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write all current findings into the baseline "
+                        "and exit")
+    p.add_argument("--rules", default="", metavar="IDS",
+                   help="comma-separated rule ids to run exclusively")
+    p.add_argument("--disable", default="", metavar="IDS",
+                   help="comma-separated rule ids to skip")
+    p.add_argument("--strict", action="store_true",
+                   help="fail on suppressions/baseline entries without "
+                        "a justification")
+    p.add_argument("--no-runtime", action="store_true",
+                   help="skip the runtime contract verification pass")
+    p.add_argument("--sanitize", action="store_true",
+                   help="additionally run the suite under the "
+                        "lock-order watcher")
+    p.set_defaults(fn=_cmd_check)
 
     sub.add_parser("procurement",
                    help="demo TCO evaluation").set_defaults(

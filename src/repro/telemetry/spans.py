@@ -317,6 +317,7 @@ def current_tracer() -> Tracer:
 def install_tracer(tracer: Tracer | None) -> None:
     """Install (or with ``None`` remove) the process-global tracer."""
     global _GLOBAL
+    # repro: allow(LCK201): atomic reference swap; readers see old or new
     _GLOBAL = tracer if tracer is not None else NULL_TRACER
 
 

@@ -1,0 +1,14 @@
+"""Shared test configuration.
+
+Setting ``REPRO_SANITIZE=1`` wraps every lock created during the test
+run in :class:`repro.check.sanitizer.LockOrderWatcher`, so the whole
+suite doubles as a lock-ordering hammer: any A->B / B->A acquisition
+pattern raises :class:`~repro.check.sanitizer.LockOrderError` at the
+moment the inverted edge appears, without needing to hit the actual
+deadlock schedule.  CI runs the telemetry/engine tests a second time
+with the sanitizer enabled.
+"""
+
+from repro.check.sanitizer import install_from_env
+
+install_from_env()

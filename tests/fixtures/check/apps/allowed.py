@@ -1,0 +1,17 @@
+"""Suppression fixture: justified and unjustified inline allows."""
+
+import time
+
+
+def justified():
+    # repro: allow(DET001): startup banner only, never cached
+    return time.time()
+
+
+def unjustified():
+    return time.time()  # repro: allow(DET001)
+
+
+def wildcard():
+    # repro: allow(*): demo site
+    return time.time()

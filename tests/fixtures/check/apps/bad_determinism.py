@@ -1,0 +1,31 @@
+"""Known-bad fixture: wall clocks and unseeded RNG in model code."""
+
+import random
+import time
+from dataclasses import dataclass, field
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp():
+    t = time.time()
+    now = datetime.now()
+    return t, now
+
+
+def draw():
+    a = np.random.default_rng()
+    b = np.random.uniform(0.0, 1.0)
+    c = random.random()
+    d = random.Random()
+    return a, b, c, d
+
+
+def seeded_ok():
+    return np.random.default_rng(42).random()
+
+
+@dataclass
+class Model:
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)

@@ -1,0 +1,18 @@
+"""Known-bad fixture: benchmark classes breaking the FOM contract."""
+
+
+class BaseBench:
+    NAME = ""
+    fom = None
+
+
+class MissingFom:
+    NAME = "MissingFom"
+
+    def run(self):
+        return 0.0
+
+
+class GoodBench(BaseBench):
+    NAME = "Ordered"
+    fom = object()

@@ -1,0 +1,35 @@
+"""Known-bad fixture: module state mutated outside the lock."""
+
+import threading
+
+_LOCK = threading.Lock()
+_CACHE: dict = {}
+_TOTAL = 0
+
+
+def good_write(key, value):
+    with _LOCK:
+        _CACHE[key] = value
+
+
+def good_global(n):
+    global _TOTAL
+    with _LOCK:
+        _TOTAL = n
+
+
+def bad_write(key, value):
+    _CACHE[key] = value
+
+
+def bad_global(n):
+    global _TOTAL
+    _TOTAL = n
+
+
+def bad_mutator(key):
+    _CACHE.pop(key, None)
+
+
+def bad_del(key):
+    del _CACHE[key]

@@ -1,0 +1,18 @@
+"""Known-bad fixture: unresolved ``$param`` references."""
+
+SPEC = {
+    "benchmark": "fixture",
+    "parametersets": [
+        {"name": "run", "parameters": [
+            {"name": "nodes", "value": "4"},
+            {"name": "tasks", "value": "${nodes} * ${gpus_per_node}"},
+            {"name": "label", "value": "run-$nodes"},
+        ]},
+    ],
+}
+
+
+def build(pset):
+    pset.add("ranks", "$nodes")
+    pset.add("total", "${ranks} * 2")
+    return pset

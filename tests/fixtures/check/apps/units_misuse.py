@@ -1,0 +1,8 @@
+"""Known-bad fixture: unit prefixes used additively."""
+
+from repro.units import GIB, GIGA
+
+bytes_total = 4 * GIB
+flops = 2.5 * GIGA
+wrong_sum = GIGA + 5
+wrong_diff = 10 - GIB

@@ -1,0 +1,38 @@
+"""Known-bad fixture registry: variant-order violations."""
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class MemoryVariant(Enum):
+    TINY = "T"
+    SMALL = "S"
+    MEDIUM = "M"
+    LARGE = "L"
+
+
+class Category(Enum):
+    BASE = "base"
+    HIGH_SCALING = "high-scaling"
+
+
+@dataclass
+class BenchmarkInfo:
+    name: str
+    variants: tuple = ()
+    categories: tuple = ()
+
+
+_T, _S, _M, _L = (MemoryVariant.TINY, MemoryVariant.SMALL,
+                  MemoryVariant.MEDIUM, MemoryVariant.LARGE)
+_HS = (Category.HIGH_SCALING,)
+
+BENCHMARKS = [
+    BenchmarkInfo(name="Backwards", variants=(_L, _S), categories=_HS),
+    BenchmarkInfo(name="NoVariants", variants=(), categories=_HS),
+    BenchmarkInfo(name="Partial", variants=(_S, _M), categories=_HS),
+    BenchmarkInfo(name="Ordered", variants=(_T, _S, _M, _L),
+                  categories=_HS),
+    BenchmarkInfo(name="Base", variants=(_S, _T),
+                  categories=(Category.BASE,)),
+]

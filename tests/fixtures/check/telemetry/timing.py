@@ -1,0 +1,7 @@
+"""Exempt fixture: telemetry code may read the wall clock."""
+
+import time
+
+
+def now():
+    return time.time()

@@ -61,6 +61,24 @@ def build_telemetry_tracer(subscriber=None):
     return tracer
 
 
+def regenerate_check_goldens() -> dict[str, Path]:
+    """Static-analysis snapshots over the known-bad fixture tree.
+
+    Both documents are deterministic: findings are sorted, paths are
+    fixture-relative, and the reporters emit no timestamps -- so the
+    golden comparison is byte-for-byte.
+    """
+    from repro.check import Analyzer, render_json, render_sarif
+
+    fixtures = Path(__file__).parent / "fixtures" / "check"
+    report = Analyzer().run(fixtures, rel_base=fixtures)
+    sarif_path = GOLDEN_DIR / "check_fixture.sarif"
+    sarif_path.write_text(render_sarif(report))
+    json_path = GOLDEN_DIR / "check_fixture.json"
+    json_path.write_text(render_json(report, strict=True))
+    return {"check_sarif": sarif_path, "check_json": json_path}
+
+
 def regenerate() -> dict[str, Path]:
     from repro.core import load_suite
 
@@ -102,7 +120,8 @@ def regenerate() -> dict[str, Path]:
 
     return {"foms": foms_path, "curve": curve_path,
             "telemetry_trace": trace_path,
-            "telemetry_chrome": chrome_path}
+            "telemetry_chrome": chrome_path,
+            **regenerate_check_goldens()}
 
 
 if __name__ == "__main__":

@@ -1,0 +1,129 @@
+"""Engine tests: baseline round-trip, classification, repo cleanliness."""
+
+import json
+from pathlib import Path
+
+from repro.check import (
+    Analyzer,
+    Baseline,
+    load_baseline,
+    runtime_contract_findings,
+    save_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).parent / "fixtures" / "check"
+
+
+# -- baseline round-trip -----------------------------------------------------
+
+def test_baseline_round_trip(tmp_path):
+    """Finding -> --write-baseline -> clean run, end to end."""
+    tree = tmp_path / "apps"
+    tree.mkdir()
+    (tree / "model.py").write_text(
+        "import time\n\n\ndef run():\n    return time.time()\n")
+
+    first = Analyzer().run(tmp_path, rel_base=tmp_path)
+    assert [f.rule for f in first.active] == ["DET001"]
+    assert first.failed()
+
+    baseline_path = tmp_path / "check-baseline.json"
+    save_baseline(baseline_path,
+                  Baseline.from_findings(first.active,
+                                         justification="known legacy"))
+
+    second = Analyzer(baseline=load_baseline(baseline_path)).run(
+        tmp_path, rel_base=tmp_path)
+    assert not second.active and not second.failed()
+    assert [f.justification for f in second.baselined] == ["known legacy"]
+    assert not second.unused_baseline
+
+
+def test_baseline_survives_line_shifts(tmp_path):
+    """Matching is (rule, path, snippet): edits above don't invalidate."""
+    tree = tmp_path / "apps"
+    tree.mkdir()
+    src = tree / "model.py"
+    src.write_text("import time\n\n\ndef run():\n    return time.time()\n")
+    first = Analyzer().run(tmp_path, rel_base=tmp_path)
+    baseline = Baseline.from_findings(first.active, justification="ok")
+
+    # insert unrelated lines above the finding
+    src.write_text("import time\n\nX = 1\nY = 2\n\n\ndef run():\n"
+                   "    return time.time()\n")
+    second = Analyzer(baseline=baseline).run(tmp_path, rel_base=tmp_path)
+    assert not second.active
+    assert len(second.baselined) == 1
+
+
+def test_stale_baseline_entries_reported(tmp_path):
+    tree = tmp_path / "apps"
+    tree.mkdir()
+    (tree / "model.py").write_text("X = 1\n")
+    baseline = Baseline.from_findings([])
+    from repro.check import BaselineEntry
+    baseline = Baseline(entries=[BaselineEntry(
+        rule="DET001", path="apps/model.py",
+        snippet="return time.time()", justification="gone")])
+    report = Analyzer(baseline=baseline).run(tmp_path, rel_base=tmp_path)
+    assert len(report.unused_baseline) == 1
+    assert report.unused_baseline[0].snippet == "return time.time()"
+
+
+def test_baseline_file_round_trips_on_disk(tmp_path):
+    from repro.check import BaselineEntry
+    path = tmp_path / "b.json"
+    baseline = Baseline(entries=[BaselineEntry(
+        rule="CON102", path="core/registry.py",
+        snippet="BenchmarkInfo(name='X')", justification="Table II")])
+    save_baseline(path, baseline)
+    data = json.loads(path.read_text())
+    assert "_meta" in data
+    loaded = load_baseline(path)
+    assert [e.to_dict() for e in loaded.entries] == \
+        [e.to_dict() for e in baseline.entries]
+    assert load_baseline(tmp_path / "missing.json").entries == []
+
+
+# -- engine edge cases -------------------------------------------------------
+
+def test_syntax_error_becomes_finding(tmp_path):
+    tree = tmp_path / "apps"
+    tree.mkdir()
+    (tree / "broken.py").write_text("def broken(:\n")
+    report = Analyzer().run(tmp_path, rel_base=tmp_path)
+    assert [f.rule for f in report.active] == ["ENG001"]
+    assert "syntax error" in report.active[0].message
+
+
+def test_suppression_only_covers_named_rule(tmp_path):
+    tree = tmp_path / "apps"
+    tree.mkdir()
+    (tree / "model.py").write_text(
+        "import time\nimport numpy as np\n\n\ndef run():\n"
+        "    # repro: allow(DET001): timing demo\n"
+        "    t = time.time()\n"
+        "    return t, np.random.default_rng()\n")
+    report = Analyzer().run(tmp_path, rel_base=tmp_path)
+    # the DET002 on the next line is NOT covered by the DET001 allow
+    assert [f.rule for f in report.active] == ["DET002"]
+    assert [f.rule for f in report.suppressed] == ["DET001"]
+
+
+# -- the repository itself must be clean -------------------------------------
+
+def test_repo_is_clean_under_own_analyzer():
+    """The acceptance criterion: `jubench check` is clean at HEAD."""
+    baseline = load_baseline(REPO_ROOT / "check-baseline.json")
+    analyzer = Analyzer(baseline=baseline)
+    report = analyzer.run(REPO_ROOT / "src" / "repro",
+                          rel_base=REPO_ROOT)
+    assert not report.active, [f.render() for f in report.active]
+    assert not report.unused_baseline
+    # every exemption carries a justification (--strict contract)
+    assert not report.failed(strict=True)
+
+
+def test_runtime_contracts_clean_at_head():
+    assert runtime_contract_findings() == []

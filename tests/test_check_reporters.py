@@ -1,0 +1,85 @@
+"""Reporter tests: SARIF 2.1.0 structure and golden snapshots."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import (
+    Analyzer,
+    render_human,
+    render_json,
+    render_sarif,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "check"
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+@pytest.fixture(scope="module")
+def report():
+    return Analyzer().run(FIXTURES, rel_base=FIXTURES)
+
+
+# -- SARIF structure ---------------------------------------------------------
+
+def test_sarif_is_valid_2_1_0(report):
+    doc = json.loads(render_sarif(report))
+    assert doc["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro.check"
+    rule_ids = [r["id"] for r in driver["rules"]]
+    assert len(rule_ids) == len(set(rule_ids))
+    for result in run["results"]:
+        assert result["ruleId"] in rule_ids
+        assert result["level"] in {"error", "warning", "note"}
+        assert result["message"]["text"]
+        (loc,) = result["locations"]
+        region = loc["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        # ruleIndex must agree with the rules array
+        if "ruleIndex" in result:
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+
+
+def test_sarif_suppressions_partition(report):
+    doc = json.loads(render_sarif(report))
+    (run,) = doc["runs"]
+    kinds = [r["suppressions"][0]["kind"] for r in run["results"]
+             if "suppressions" in r]
+    # the fixture tree has inline allows but no baseline
+    assert kinds.count("inSource") == len(report.suppressed)
+    assert kinds.count("external") == len(report.baselined) == 0
+    active = [r for r in run["results"] if "suppressions" not in r]
+    assert len(active) == len(report.active)
+
+
+def test_json_report_shape(report):
+    doc = json.loads(render_json(report, strict=True))
+    assert doc["tool"]["name"] == "repro.check"
+    assert doc["summary"]["active"] == len(report.active)
+    assert doc["summary"]["failed"] is True
+    assert len(doc["strict_violations"]) == 1
+    assert doc["strict_violations"][0]["rule"] == "SUP001"
+
+
+def test_human_report_verdict_line(report):
+    text = render_human(report)
+    assert text.splitlines()[-1].startswith("check FAILED:")
+    clean = Analyzer(only=["CON104"]).run(
+        FIXTURES / "core", rel_base=FIXTURES)
+    assert render_human(clean).splitlines()[-1].startswith("check ok:")
+
+
+# -- golden snapshots --------------------------------------------------------
+
+def test_sarif_matches_golden(report):
+    golden = (GOLDEN_DIR / "check_fixture.sarif").read_text()
+    assert render_sarif(report) == golden
+
+
+def test_json_matches_golden(report):
+    golden = (GOLDEN_DIR / "check_fixture.json").read_text()
+    assert render_json(report, strict=True) == golden

@@ -1,0 +1,181 @@
+"""Rule-level tests of ``repro.check`` against the known-bad fixtures.
+
+Every rule family gets a fixture file under ``tests/fixtures/check/``
+engineered to trip it (plus negative controls that must stay clean);
+the assertions pin rule ids, paths, line numbers, and severities.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import Analyzer, Severity
+
+FIXTURES = Path(__file__).parent / "fixtures" / "check"
+
+
+@pytest.fixture(scope="module")
+def report():
+    return Analyzer().run(FIXTURES, rel_base=FIXTURES)
+
+
+def by_rule(report, rule):
+    return [f for f in report.active if f.rule == rule]
+
+
+def locations(report, rule):
+    return {(f.path, f.line) for f in by_rule(report, rule)}
+
+
+# -- determinism -------------------------------------------------------------
+
+def test_wall_clocks_flagged_in_model_code(report):
+    assert locations(report, "DET001") == {
+        ("apps/bad_determinism.py", 12),
+        ("apps/bad_determinism.py", 13),
+    }
+    assert all(f.severity is Severity.WARNING
+               for f in by_rule(report, "DET001"))
+
+
+def test_unseeded_rng_flagged(report):
+    assert locations(report, "DET002") == {
+        ("apps/bad_determinism.py", 18),   # default_rng() bare call
+        ("apps/bad_determinism.py", 19),   # np.random.uniform global fn
+        ("apps/bad_determinism.py", 20),   # random.random global state
+        ("apps/bad_determinism.py", 21),   # random.Random() unseeded
+        ("apps/bad_determinism.py", 31),   # default_factory reference
+    }
+    assert all(f.severity is Severity.ERROR
+               for f in by_rule(report, "DET002"))
+
+
+def test_default_factory_reference_message(report):
+    ref = [f for f in by_rule(report, "DET002") if f.line == 31]
+    assert "by reference" in ref[0].message
+    assert "default_factory" in ref[0].message
+
+
+def test_seeded_rng_not_flagged(report):
+    # seeded_ok() at line 26 uses default_rng(42): clean
+    assert ("apps/bad_determinism.py", 26) not in locations(report,
+                                                            "DET002")
+
+
+def test_telemetry_segment_exempt(report):
+    assert not any(f.path.startswith("telemetry/")
+                   for f in report.active)
+
+
+# -- contracts ---------------------------------------------------------------
+
+def test_missing_fom_and_unregistered_name(report):
+    findings = by_rule(report, "CON101")
+    assert {f.path for f in findings} == {"apps/bench_no_fom.py"}
+    messages = sorted(f.message for f in findings)
+    assert "declares no class-level FOM" in messages[0]
+    assert "not a registered Table II benchmark" in messages[1]
+    # GoodBench inherits its fom from BaseBench and uses a registered
+    # name, so only MissingFom is flagged
+    assert all("MissingFom" in f.message for f in findings)
+
+
+def test_variant_order_violations(report):
+    findings = {f.message.split(":")[0]: f for f in by_rule(report,
+                                                            "CON102")}
+    assert set(findings) == {"Backwards", "NoVariants", "Partial",
+                             "Base"}
+    assert findings["Backwards"].severity is Severity.ERROR
+    assert findings["NoVariants"].severity is Severity.ERROR
+    assert findings["Base"].severity is Severity.ERROR
+    # incomplete-but-ordered variant sets are a note (baseline them)
+    assert findings["Partial"].severity is Severity.NOTE
+    # the baseline identity names the benchmark, not the source line
+    assert findings["Partial"].snippet == "BenchmarkInfo(name='Partial')"
+
+
+def test_param_references_must_resolve(report):
+    assert locations(report, "CON103") == {
+        ("apps/spec_params.py", 8),    # ${gpus_per_node} in dict spec
+        ("apps/spec_params.py", 16),   # $nodes in builder scope
+    }
+
+
+def test_resolving_param_references_clean(report):
+    # "run-$nodes" (dict spec) and "${ranks} * 2" (builder) resolve
+    lines = {line for _, line in locations(report, "CON103")}
+    assert 9 not in lines and 17 not in lines
+
+
+def test_unit_prefix_arithmetic(report):
+    assert locations(report, "CON104") == {
+        ("apps/units_misuse.py", 7),
+        ("apps/units_misuse.py", 8),
+    }
+    # multiplicative use (4 * GIB, 2.5 * GIGA) stays clean
+    lines = {line for _, line in locations(report, "CON104")}
+    assert 5 not in lines and 6 not in lines
+
+
+# -- concurrency -------------------------------------------------------------
+
+def test_unlocked_module_state(report):
+    assert locations(report, "LCK201") == {
+        ("apps/locked_state.py", 22),   # container subscript write
+        ("apps/locked_state.py", 27),   # global reassignment
+        ("apps/locked_state.py", 31),   # .pop() mutator
+        ("apps/locked_state.py", 35),   # del
+    }
+
+
+def test_locked_mutations_clean(report):
+    # good_write / good_global mutate under `with _LOCK:`
+    lines = {line for _, line in locations(report, "LCK201")}
+    assert 12 not in lines and 18 not in lines
+
+
+# -- suppressions ------------------------------------------------------------
+
+def test_inline_allows_suppress(report):
+    suppressed = {(f.path, f.line): f.justification
+                  for f in report.suppressed}
+    assert suppressed == {
+        ("apps/allowed.py", 8): "startup banner only, never cached",
+        ("apps/allowed.py", 12): "",
+        ("apps/allowed.py", 17): "demo site",
+    }
+    assert not any(f.path == "apps/allowed.py" for f in report.active)
+
+
+def test_strict_flags_unjustified_suppression(report):
+    violations = report.strict_violations()
+    assert [(v.rule, v.path, v.line) for v in violations] == \
+        [("SUP001", "apps/allowed.py", 12)]
+
+
+def test_failed_depends_on_strict(tmp_path):
+    """A clean-but-unjustified report only fails under --strict."""
+    tree = tmp_path / "apps"
+    tree.mkdir()
+    (tree / "m.py").write_text(
+        "import time\n\n\ndef f():\n"
+        "    return time.time()  # repro: allow(DET001)\n")
+    report = Analyzer().run(tmp_path, rel_base=tmp_path)
+    assert not report.active
+    assert not report.failed(strict=False)
+    assert report.failed(strict=True)
+
+
+# -- rule filtering ----------------------------------------------------------
+
+def test_only_and_disable_filters():
+    only = Analyzer(only=["DET001"]).run(FIXTURES, rel_base=FIXTURES)
+    assert {f.rule for f in only.active} == {"DET001"}
+    disabled = Analyzer(disable=["DET001", "DET002"]).run(
+        FIXTURES, rel_base=FIXTURES)
+    assert not {f.rule for f in disabled.active} & {"DET001", "DET002"}
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="unknown rule id"):
+        Analyzer(only=["NOPE999"])

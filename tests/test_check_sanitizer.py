@@ -1,0 +1,156 @@
+"""Lock-order watcher tests: cycle detection, stdlib compatibility."""
+
+import threading
+
+import pytest
+
+from repro.check.sanitizer import (
+    LockGraph,
+    LockOrderError,
+    LockOrderWatcher,
+    install,
+    installed_graph,
+    uninstall,
+)
+
+
+def test_ab_ba_cycle_across_two_threads_names_both_sites():
+    """The headline behaviour: an A->B / B->A schedule raises at the
+    moment the inverting edge appears, naming both acquisition sites."""
+    graph = LockGraph()
+    lock_a = LockOrderWatcher("A", graph=graph)
+    lock_b = LockOrderWatcher("B", graph=graph)
+    errors: list[LockOrderError] = []
+
+    def forward():                      # thread 1: A then B
+        with lock_a:
+            with lock_b:
+                pass
+
+    def backward():                     # thread 2: B then A
+        try:
+            with lock_b:
+                with lock_a:
+                    pass
+        except LockOrderError as exc:
+            errors.append(exc)
+
+    t1 = threading.Thread(target=forward)
+    t1.start()
+    t1.join()
+    t2 = threading.Thread(target=backward)
+    t2.start()
+    t2.join()
+
+    assert len(errors) == 1
+    message = str(errors[0])
+    # the diagnostic names both locks and both acquisition sites
+    assert "acquiring A" in message and "while holding B" in message
+    assert message.count("test_check_sanitizer.py") >= 2
+    assert "A -> B" in message
+
+
+def test_transitive_cycle_detected():
+    """A->B, B->C, then C->A closes the cycle through two edges."""
+    graph = LockGraph()
+    a = LockOrderWatcher("A", graph=graph)
+    b = LockOrderWatcher("B", graph=graph)
+    c = LockOrderWatcher("C", graph=graph)
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with pytest.raises(LockOrderError, match="A -> B -> C"):
+        with c:
+            with a:
+                pass
+
+
+def test_consistent_order_never_raises():
+    graph = LockGraph()
+    a = LockOrderWatcher("A", graph=graph)
+    b = LockOrderWatcher("B", graph=graph)
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    snap = graph.snapshot()
+    assert snap["edges"] == 1
+    assert snap["acquisitions"] >= 6
+
+
+def test_self_deadlock_on_nonreentrant_lock():
+    graph = LockGraph()
+    lock = LockOrderWatcher("L", graph=graph)
+    with lock:
+        with pytest.raises(LockOrderError, match="self-deadlock"):
+            lock.acquire()
+        # non-blocking re-acquire reports failure instead of raising
+        assert lock.acquire(blocking=False) is False
+
+
+def test_reentrant_watcher_allows_nesting():
+    graph = LockGraph()
+    rlock = LockOrderWatcher("R", graph=graph, reentrant=True)
+    with rlock:
+        with rlock:
+            assert rlock.locked()
+    assert not rlock.locked()
+
+
+def test_watcher_backs_threading_condition():
+    """Conditions built on a watcher must work: queues/events use them."""
+    graph = LockGraph()
+    cond = threading.Condition(LockOrderWatcher("cv", graph=graph))
+    results = []
+
+    def consumer():
+        with cond:
+            while not results:
+                cond.wait(timeout=5)
+            results.append("consumed")
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    with cond:
+        results.append("produced")
+        cond.notify()
+    t.join(timeout=5)
+    assert results == ["produced", "consumed"]
+
+
+def test_install_swaps_factories_and_uninstall_restores():
+    before = threading.Lock
+    graph = install()
+    try:
+        assert installed_graph() is graph
+        assert install() is graph          # idempotent
+        lock = threading.Lock()
+        assert isinstance(lock, LockOrderWatcher)
+        with lock:
+            assert lock.locked()
+        rlock = threading.RLock()
+        assert isinstance(rlock, LockOrderWatcher)
+        with rlock:
+            with rlock:
+                pass
+    finally:
+        uninstall()
+    assert installed_graph() is None
+    assert threading.Lock is before or threading.Lock() is not None
+
+
+def test_installed_locks_feed_shared_graph():
+    graph = install()
+    try:
+        a = threading.Lock()
+        b = threading.Lock()
+        with a:
+            with b:
+                pass
+        assert graph.snapshot()["edges"] >= 1
+        assert graph.snapshot()["locks"] >= 2
+    finally:
+        uninstall()
