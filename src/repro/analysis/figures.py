@@ -69,6 +69,9 @@ class Fig2Data:
         for name, curve in self.curves.items():
             rel = "  ".join(f"({x:.2f}, {y:.2f})"
                             for x, y in curve.relative())
+            if curve.failed:
+                rel += "  failed: " + \
+                    ", ".join(str(n) for n in curve.failed)
             lines.append(f"{name:<18} {curve.reference.nodes:>9} "
                          f"{curve.reference.runtime:>9.1f}s  {rel}")
         return "\n".join(lines)

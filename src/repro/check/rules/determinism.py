@@ -5,8 +5,10 @@ a benchmark's output is a pure function of its cache key.  A wall-clock
 reading or an unseeded random generator inside model code breaks that
 assumption silently: the cache returns a result the current code could
 never reproduce.  These rules police the model-code packages
-(``vmpi/``, ``apps/``, ``synthetic/``, ``core/``); ``telemetry/`` and
-``exec/`` are exempt because their clocks are injectable by design.
+(``vmpi/``, ``apps/``, ``synthetic/``, ``core/``); ``telemetry/``,
+``exec/`` and ``faults/`` are exempt because their clocks are
+injectable by design (fault schedules fire from the injected fault
+clock and seeded / content-hash draws, never from wall time).
 """
 
 from __future__ import annotations
@@ -18,8 +20,11 @@ from .base import Collector, ModuleInfo, Rule, canonical_name, import_aliases
 
 #: path segments that mark model code (cache-key relevant)
 MODEL_SEGMENTS = frozenset({"vmpi", "apps", "synthetic", "core"})
-#: path segments exempt from determinism rules (injectable clocks)
-EXEMPT_SEGMENTS = frozenset({"telemetry", "exec", "check"})
+#: path segments exempt from determinism rules (injectable clocks).
+#: ``faults`` mirrors telemetry's exemption: fault schedules fire from
+#: the injectable fault clock and seeded/content-hash draws, so its
+#: clock and RNG uses are deterministic by construction.
+EXEMPT_SEGMENTS = frozenset({"telemetry", "exec", "check", "faults"})
 
 WALL_CLOCKS = frozenset({
     "time.time", "time.time_ns",

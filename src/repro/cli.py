@@ -10,6 +10,7 @@ Sub-commands::
     jubench fig3 [--nodes 8,16,...]    # High-Scaling weak-scaling study
     jubench report TRACE.jsonl         # re-render a saved trace offline
     jubench check [--format sarif]     # static analysis + sanitizers
+    jubench chaos [--seed N]           # deterministic fault-injection smoke
     jubench procurement                # demo TCO evaluation of proposals
 
 Execution commands accept engine options: ``--workers N`` fans
@@ -20,6 +21,10 @@ and ``--journal [PATH]`` prints the structured run journal afterwards
 ``--trace-out FILE.jsonl`` streams the span/event trace to disk,
 ``--trace-out FILE.json`` writes a Chrome ``trace_event`` file for
 Perfetto, and ``--metrics`` prints the metrics-registry report.
+Fault injection: ``--faults PLAN.json`` (or ``--fault-seed N`` to
+generate a plan) runs the command under ``repro.faults`` with retries,
+seeded backoff and a circuit breaker; ``jubench chaos`` is the
+dedicated deterministic smoke.
 """
 
 from __future__ import annotations
@@ -68,10 +73,21 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                             "directory (reused across invocations)")
     group.add_argument("--no-cache", action="store_true",
                        help="disable result memoisation")
+    group.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="retry budget per task (default 0; under a "
+                            "fault plan, the plan's worst-case failure "
+                            "count)")
     group.add_argument("--journal", nargs="?", const="-", default=None,
                        metavar="PATH",
                        help="print the per-task run journal at the end; "
                             "with PATH, save it as telemetry JSONL instead")
+    flt = parser.add_argument_group("fault injection")
+    flt.add_argument("--faults", default=None, metavar="PLAN.json",
+                     help="inject faults from a declarative FaultPlan "
+                          "file (see repro.faults)")
+    flt.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                     help="generate a reproducible fault plan from this "
+                          "seed instead of a plan file")
     obs = parser.add_argument_group("observability")
     obs.add_argument("--trace-out", default=None, metavar="FILE",
                      help="write the telemetry trace: *.jsonl streams "
@@ -79,6 +95,19 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                           "trace_event file (Perfetto)")
     obs.add_argument("--metrics", action="store_true",
                      help="print the metrics-registry report at the end")
+
+
+def _fault_plan(args: argparse.Namespace):
+    """The fault plan an invocation asked for (file, seed, or None)."""
+    from .faults import FaultPlan
+
+    path = getattr(args, "faults", None)
+    seed = getattr(args, "fault_seed", None)
+    if path:
+        return FaultPlan.load(path)
+    if seed is not None:
+        return FaultPlan.generate(seed, nodes=32)
+    return None
 
 
 def _make_engine(args: argparse.Namespace) -> ExecutionEngine | None:
@@ -89,13 +118,27 @@ def _make_engine(args: argparse.Namespace) -> ExecutionEngine | None:
     if not args.no_cache:
         cache = DiskCache(args.cache_dir) if args.cache_dir \
             else MemoryCache()
+    plan = _fault_plan(args)
+    faults = backoff = breaker = None
+    retries = getattr(args, "retries", None)
+    if plan is not None:
+        from .exec import BackoffPolicy, CircuitBreaker
+        from .faults import FaultInjector
+
+        faults = FaultInjector(plan)
+        backoff = BackoffPolicy(seed=plan.seed)
+        breaker = CircuitBreaker()
+        if retries is None:
+            # survivable by default: the plan's worst case fits the budget
+            retries = plan.max_task_failures()
     # Under --trace-out/--metrics a tracer is installed globally before
     # dispatch; sharing it puts engine task spans, suite driver spans
     # and vmpi events on one timeline.
     ambient = current_tracer()
     return ExecutionEngine(workers=args.workers, backend=args.backend,
-                           cache=cache,
-                           tracer=ambient if ambient.enabled else None)
+                           cache=cache, retries=retries or 0,
+                           tracer=ambient if ambient.enabled else None,
+                           faults=faults, backoff=backoff, breaker=breaker)
 
 
 def _configured_suite(args: argparse.Namespace):
@@ -278,6 +321,85 @@ def _sanitize_smoke() -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos smoke: the suite + scheduler under an injected fault plan.
+
+    Runs the benchmark set under a seeded (or file-provided) fault
+    plan on a virtual clock, prints the degrade/recovery summary, and
+    optionally writes the two byte-stable determinism artifacts: the
+    canonical journal (``--journal-out``) and the chaos Chrome trace
+    (``--trace-json``).  Then replays the plan's node crashes and
+    straggler windows against the cluster scheduler and drains it.
+    Honours ``REPRO_SANITIZE=1`` (lock-order watcher over the requeue
+    paths).  Exit 0 means every benchmark ended ok or explicitly
+    failed in the journal -- no unhandled exceptions, no aborted
+    sweep.
+    """
+    from .check import install_from_env
+    from .cluster.hardware import juwels_booster
+    from .cluster.scheduler import Job, JobState, Scheduler
+    from .exec import BackoffPolicy, CircuitBreaker
+    from .faults import FaultInjector, FaultPlan, write_chaos_trace
+    from .telemetry.spans import ManualClock, use_tracer
+
+    install_from_env()
+    names = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    if args.faults:
+        plan = FaultPlan.load(args.faults)
+    else:
+        plan = FaultPlan.generate(
+            args.seed, labels=tuple(f"run:{n}" for n in names), nodes=32)
+    retries = args.retries if args.retries is not None \
+        else max(1, plan.max_task_failures())
+    injector = FaultInjector(plan)
+    tracer = Tracer(clock=ManualClock(start=0.0, tick=0.25))
+    engine = ExecutionEngine(
+        workers=args.workers, backend="thread", cache=None,
+        retries=retries, tracer=tracer, faults=injector,
+        backoff=BackoffPolicy(seed=plan.seed), breaker=CircuitBreaker())
+    suite = load_suite()
+    suite.engine = engine
+    try:
+        with use_tracer(tracer):
+            results = suite.run_all(names)
+
+            # Cluster chaos phase: deterministic job stream + the
+            # plan's node crashes / straggler windows, drained to
+            # completion (requeues exercise the recovery paths).
+            sched = Scheduler(juwels_booster().with_nodes(64),
+                              faults=injector)
+            jobs = [sched.submit(Job(name=f"chaos-{i}",
+                                     nodes=8 + 8 * (i % 3),
+                                     walltime=50.0))
+                    for i in range(args.jobs)]
+            sched.drain()
+    finally:
+        suite.engine = None
+
+    stats = engine.journal.stats()
+    print(f"chaos suite: {len(results)}/{len(names)} benchmarks ok, "
+          f"{stats.errors} failed, {stats.retries} retries "
+          f"(plan seed {plan.seed}, retry budget {retries})")
+    requeues = sum(j.requeues for j in jobs)
+    finished = sum(1 for j in jobs if j.state in (JobState.COMPLETED,
+                                                  JobState.FAILED))
+    print(f"chaos scheduler: {finished}/{len(jobs)} jobs finished, "
+          f"{requeues} requeue(s), {sched.dead_nodes} node(s) dead, "
+          f"utilization {sched.utilization:.3f}")
+    if args.journal_out:
+        count = engine.journal.canonical().to_jsonl(args.journal_out)
+        print(f"chaos journal: {count} record(s) -> {args.journal_out}")
+    if args.trace_json:
+        n = write_chaos_trace(args.trace_json, engine.journal, plan)
+        print(f"chaos trace: {n} event(s) -> {args.trace_json}")
+    if args.save_plan:
+        plan.save(args.save_plan)
+        print(f"fault plan -> {args.save_plan}")
+    accounted = len(engine.journal.records) == len(names) and \
+        finished == len(jobs)
+    return 0 if accounted else 1
+
+
 def _cmd_procurement(_args: argparse.Namespace) -> int:
     from .cluster.hardware import jupiter_booster_model
 
@@ -393,6 +515,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="additionally run the suite under the "
                         "lock-order watcher")
     p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser("chaos",
+                       help="chaos smoke: suite + scheduler under a "
+                            "seeded fault plan (deterministic)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="fault-plan generation seed (default 42)")
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="use this fault plan file instead of generating "
+                        "one from --seed")
+    p.add_argument("--benchmarks", default="Arbor,JUQCS,HPL,STREAM",
+                   help="comma-separated benchmark set")
+    p.add_argument("--workers", type=_workers, default=8,
+                   help="engine workers (results are identical for any "
+                        "count)")
+    p.add_argument("--retries", type=int, default=None,
+                   help="retry budget (default: the plan's worst case)")
+    p.add_argument("--jobs", type=int, default=6,
+                   help="jobs in the scheduler chaos phase")
+    p.add_argument("--journal-out", default=None, metavar="PATH",
+                   help="write the canonical (byte-stable) journal JSONL")
+    p.add_argument("--trace-json", default=None, metavar="PATH",
+                   help="write the deterministic chaos Chrome trace")
+    p.add_argument("--save-plan", default=None, metavar="PATH",
+                   help="save the effective fault plan as JSON")
+    p.set_defaults(fn=_cmd_chaos)
 
     sub.add_parser("procurement",
                    help="demo TCO evaluation").set_defaults(

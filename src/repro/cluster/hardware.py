@@ -49,6 +49,19 @@ class DeviceSpec:
         t_bytes = bytes_moved / (self.mem_bandwidth * efficiency) if bytes_moved else 0.0
         return max(t_flops, t_bytes)
 
+    def degraded(self, factor: float) -> "DeviceSpec":
+        """This device running ``factor`` x slower (straggler model).
+
+        Scales compute and memory throughput down by the factor;
+        capacity is untouched.  Used by fault injection to model
+        thermally-throttled or otherwise degraded accelerators.
+        """
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        return replace(self, name=f"{self.name} (x{factor:g} degraded)",
+                       peak_flops=self.peak_flops / factor,
+                       mem_bandwidth=self.mem_bandwidth / factor)
+
 
 @dataclass(frozen=True)
 class NodeSpec:

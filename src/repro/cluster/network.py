@@ -32,14 +32,25 @@ class NetworkModel:
         Machine description (link bandwidths, cell size, taper).
     topology:
         Path classifier; defaults to DragonFly+ over ``system``.
+    degradation:
+        Optional fault-injection multiplier model (duck-typed:
+        ``factor(link) -> float`` in ``(0, 1]`` -- a
+        :class:`~repro.faults.LinkDegradationModel`).  Applied on top
+        of taper/congestion to every non-local link class.
     """
 
     system: SystemSpec
     topology: Topology = None  # type: ignore[assignment]
+    degradation: object = None
 
     def __post_init__(self) -> None:  # dataclass(frozen) workaround
         if self.topology is None:
             object.__setattr__(self, "topology", DragonflyPlus(self.system))
+
+    def degraded(self, degradation: object) -> "NetworkModel":
+        """This model with a fault-injection degradation attached."""
+        return NetworkModel(system=self.system, topology=self.topology,
+                            degradation=degradation)
 
     # -- point-to-point ----------------------------------------------------
 
@@ -50,17 +61,22 @@ class NetworkModel:
         jobs beyond ``large_scale_threshold_nodes`` see an additional
         congestion factor (adaptive-routing collisions on shared global
         links -- the empirical large-scale regime of the paper's Fig. 3).
+        An attached ``degradation`` model multiplies the result by its
+        per-link-class factor (fault-injected bandwidth loss).
         """
         node = self.system.node
         if link is LinkClass.SELF:
             return float("inf")
         if link is LinkClass.INTRA_NODE:
-            return node.intra_node_bandwidth
-        bw = node.nic_bandwidth
-        if link is LinkClass.INTER_CELL:
-            bw *= self.system.cell_uplink_taper
-            if job_nodes >= self.system.large_scale_threshold_nodes:
-                bw *= self.system.large_scale_congestion
+            bw = node.intra_node_bandwidth
+        else:
+            bw = node.nic_bandwidth
+            if link is LinkClass.INTER_CELL:
+                bw *= self.system.cell_uplink_taper
+                if job_nodes >= self.system.large_scale_threshold_nodes:
+                    bw *= self.system.large_scale_congestion
+        if self.degradation is not None:
+            bw *= self.degradation.factor(link)
         return bw
 
     def latency(self, link: LinkClass) -> float:

@@ -50,6 +50,10 @@ class Job:
     allocated: list[int] = field(default_factory=list)
     result: object = None
     error: str | None = None
+    #: times this job was kicked back to PENDING by a node crash
+    requeues: int = 0
+    #: straggler slowdown factor of the current/last allocation
+    slowdown: float = 1.0
 
     @property
     def wait_time(self) -> float | None:
@@ -62,13 +66,22 @@ class Job:
 class Scheduler:
     """FIFO + conservative-backfill scheduler over a node pool.
 
-    The virtual clock advances only through job submissions/completions,
-    so results are exactly reproducible.  Placement prefers the lowest
-    contiguous node range whose start is aligned to a cell boundary when
-    the request spans one or more full cells.
+    The virtual clock advances only through job submissions/completions
+    (and, under fault injection, through plan fault events), so results
+    are exactly reproducible.  Placement prefers the lowest contiguous
+    node range whose start is aligned to a cell boundary when the
+    request spans one or more full cells.
+
+    ``faults`` (duck-typed: ``cluster_timeline()`` yielding sorted
+    ``(time, action, node, factor)`` tuples, optional ``observe``
+    telemetry callback -- a :class:`~repro.faults.FaultInjector`)
+    injects node crashes (running jobs on dead nodes requeue, the node
+    leaves the free pool), restores (the node rejoins) and straggler
+    windows (allocations including a slowed node run ``factor``
+    x slower).
     """
 
-    def __init__(self, system: SystemSpec):
+    def __init__(self, system: SystemSpec, faults: object = None):
         self.system = system
         self.now = 0.0
         self._free = set(range(system.nodes))
@@ -76,6 +89,15 @@ class Scheduler:
         self._running: list[tuple[float, int, Job]] = []  # (end, id, job)
         self._ids = itertools.count(1)
         self.history: list[Job] = []
+        self._faults = faults
+        self._events: list[tuple[float, str, int, float]] = \
+            list(faults.cluster_timeline()) if faults is not None else []
+        self._event_pos = 0
+        self._dead: set[int] = set()
+        self._slow: dict[int, float] = {}
+        #: node-seconds consumed by partial runs that never reached a
+        #: completion (crash requeues) -- kept for utilization accounting
+        self._consumed = 0.0
 
     # -- public API ----------------------------------------------------------
 
@@ -96,14 +118,45 @@ class Scheduler:
         return job
 
     def cancel(self, job: Job) -> None:
-        """Cancel a pending job (running jobs run to completion)."""
+        """Cancel a pending or running job.
+
+        A running job is stopped at the current virtual time: its nodes
+        return to the free pool (the partial run still counts toward
+        utilization via ``end_time = now``) and waiting jobs get a
+        scheduling pass.
+        """
         if job.state is JobState.PENDING:
             self._queue.remove(job)
             job.state = JobState.CANCELLED
+        elif job.state is JobState.RUNNING:
+            self._running = [(e, i, j) for (e, i, j) in self._running
+                             if j is not job]
+            heapq.heapify(self._running)
+            self._free.update(n for n in job.allocated
+                              if n not in self._dead)
+            job.state = JobState.CANCELLED
+            job.end_time = self.now
+            self._schedule()
 
     def step(self) -> bool:
-        """Advance to the next job completion; False if nothing is running."""
-        if not self._running:
+        """Advance to the next event; False when nothing can happen.
+
+        The next event is either a job completion or (under fault
+        injection) the next plan fault, whichever comes first on the
+        virtual clock; a tie goes to the completion.  Fault events are
+        only consumed while there is work (queued or running) they
+        could affect.
+        """
+        next_end = self._running[0][0] if self._running else None
+        fault = self._events[self._event_pos] \
+            if self._event_pos < len(self._events) else None
+        if fault is not None and (self._queue or self._running) and \
+                (next_end is None or fault[0] < next_end):
+            self._event_pos += 1
+            self._apply_fault(*fault)
+            self._schedule()
+            return True
+        if next_end is None:
             return False
         end, _, job = heapq.heappop(self._running)
         self.now = max(self.now, end)
@@ -127,14 +180,85 @@ class Scheduler:
         return len(self._free)
 
     @property
+    def dead_nodes(self) -> int:
+        """Nodes currently crashed out of the pool."""
+        return len(self._dead)
+
+    @property
     def utilization(self) -> float:
-        """Node-seconds used / available over the elapsed virtual time."""
+        """Node-seconds used / available over the elapsed virtual time.
+
+        Partial runs cut short by a node crash still count as used
+        node-seconds (they occupied the machine); the denominator keeps
+        dead nodes as capacity -- a crash lowers achievable
+        utilization, it does not redefine the machine.
+        """
         if self.now <= 0:
             return 0.0
-        used = sum((j.end_time - j.start_time) * j.nodes
-                   for j in self.history
-                   if j.end_time is not None and j.start_time is not None)
+        used = self._consumed + \
+            sum((j.end_time - j.start_time) * j.nodes
+                for j in self.history
+                if j.end_time is not None and j.start_time is not None)
         return used / (self.now * self.system.nodes)
+
+    # -- fault injection ------------------------------------------------------
+
+    def _apply_fault(self, at: float, action: str, node: int,
+                     factor: float) -> None:
+        """Apply one plan fault event at virtual time ``at``."""
+        self.now = max(self.now, at)
+        if action == "crash":
+            self._crash_node(node)
+        elif action == "restore":
+            self._dead.discard(node)
+            if 0 <= node < self.system.nodes:
+                self._free.add(node)
+        elif action == "slow":
+            self._slow[node] = factor
+        elif action == "unslow":
+            self._slow.pop(node, None)
+        else:
+            raise ValueError(f"unknown fault action {action!r}")
+        observe = getattr(self._faults, "observe", None)
+        if observe is not None:
+            observe(action, node, self.now)
+
+    def _crash_node(self, node: int) -> None:
+        """Take a node out of the pool; requeue jobs running on it."""
+        self._dead.add(node)
+        self._free.discard(node)
+        victims = [job for _, _, job in self._running
+                   if node in job.allocated]
+        if victims:
+            alive = {id(j) for j in victims}
+            self._running = [(e, i, j) for (e, i, j) in self._running
+                             if id(j) not in alive]
+            heapq.heapify(self._running)
+            for job in sorted(victims, key=lambda j: j.job_id):
+                self._requeue(job)
+
+    def _requeue(self, job: Job) -> None:
+        """Crash recovery: put a running job back at its queue position.
+
+        The partial run's node-seconds are credited to the utilization
+        accumulator, surviving nodes return to the free pool, and the
+        job resets to PENDING (result/error/timing cleared,
+        ``requeues`` incremented).  Requeued jobs re-enter the queue in
+        job-id order, keeping the FIFO discipline deterministic.
+        """
+        if job.start_time is not None:
+            self._consumed += (self.now - job.start_time) * job.nodes
+        self._free.update(n for n in job.allocated if n not in self._dead)
+        job.allocated = []
+        job.state = JobState.PENDING
+        job.start_time = None
+        job.end_time = None
+        job.result = None
+        job.error = None
+        job.slowdown = 1.0
+        job.requeues += 1
+        self._queue.append(job)
+        self._queue.sort(key=lambda j: j.job_id)
 
     # -- internals ------------------------------------------------------------
 
@@ -175,6 +299,11 @@ class Scheduler:
         job.allocated = alloc
         job.state = JobState.RUNNING
         job.start_time = self.now
+        # Straggler windows stretch the payload's virtual duration by
+        # the slowest node of the allocation (capped at walltime; the
+        # overrun check in _finish applies the same factor).
+        job.slowdown = max((self._slow.get(n, 1.0) for n in alloc),
+                           default=1.0)
         duration = job.walltime
         if job.run is not None:
             try:
@@ -184,17 +313,18 @@ class Scheduler:
             # Payloads may return an object with a virtual duration.
             dur = getattr(job.result, "seconds", None)
             if isinstance(dur, (int, float)) and dur >= 0:
-                duration = min(float(dur), job.walltime)
+                duration = min(float(dur) * job.slowdown, job.walltime)
         job.end_time = self.now + duration
         heapq.heappush(self._running, (job.end_time, job.job_id, job))
 
     def _finish(self, job: Job) -> None:
-        self._free.update(job.allocated)
+        self._free.update(n for n in job.allocated if n not in self._dead)
         if job.error is not None:
             job.state = JobState.FAILED
         elif job.end_time is not None and job.run is not None and \
                 getattr(job.result, "seconds", 0.0) and \
-                float(getattr(job.result, "seconds")) > job.walltime:
+                float(getattr(job.result, "seconds")) * job.slowdown > \
+                job.walltime:
             job.state = JobState.FAILED
             job.error = "walltime exceeded"
         else:

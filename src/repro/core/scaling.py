@@ -10,6 +10,7 @@ computes the derived quantities (speedup, parallel efficiency).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -45,6 +46,9 @@ class StrongScalingResult:
     benchmark: str
     reference: ScalingPoint
     points: list[ScalingPoint] = field(default_factory=list)
+    #: node counts whose point failed under graceful degradation (the
+    #: run journal holds the error; figures skip them)
+    failed: list[int] = field(default_factory=list)
 
     def relative(self) -> list[tuple[float, float]]:
         """Fig. 2 coordinates: (nodes/ref_nodes, runtime/ref_runtime)."""
@@ -72,6 +76,8 @@ class WeakScalingResult:
 
     benchmark: str
     points: list[ScalingPoint] = field(default_factory=list)
+    #: node counts whose point failed under graceful degradation
+    failed: list[int] = field(default_factory=list)
 
     def efficiency(self) -> list[tuple[int, float]]:
         """Fig. 3 series: (nodes, t_base / t_n); 1.0 is perfect."""
@@ -116,7 +122,11 @@ def strong_scaling(benchmark: str,
                    mapper: PointMapper | None = None) -> StrongScalingResult:
     """Run a strong-scaling study: same workload, varying node counts.
 
-    ``run(nodes)`` must return the runtime (time-metric seconds).
+    ``run(nodes)`` must return the runtime (time-metric seconds), or
+    NaN for a point that failed under graceful degradation -- such
+    points land in :attr:`StrongScalingResult.failed` instead of the
+    curve.  A failed *reference* point is unrecoverable (everything is
+    normalised to it) and raises :class:`ValueError`.
     ``mapper`` (optional) evaluates the node sweep, e.g. in parallel;
     results are assembled in node-count order either way.
     """
@@ -126,11 +136,17 @@ def strong_scaling(benchmark: str,
         counts.append(reference_nodes)
     ordered = sorted(counts)
     runtimes = (mapper or _sequential_map)(run, ordered)
+    failed = [n for n, t in zip(ordered, runtimes) if math.isnan(t)]
+    if reference_nodes in failed:
+        raise ValueError(
+            f"strong-scaling reference point of {benchmark!r} at "
+            f"{reference_nodes} nodes failed; the study cannot be "
+            f"normalised (see the run journal for the error)")
     points = [ScalingPoint(nodes=n, runtime=t)
-              for n, t in zip(ordered, runtimes)]
+              for n, t in zip(ordered, runtimes) if not math.isnan(t)]
     ref = next(p for p in points if p.nodes == reference_nodes)
     return StrongScalingResult(benchmark=benchmark, reference=ref,
-                               points=points)
+                               points=points, failed=failed)
 
 
 def weak_scaling(benchmark: str,
@@ -140,11 +156,16 @@ def weak_scaling(benchmark: str,
     """Run a weak-scaling study: workload grows with the node count.
 
     ``run(nodes)`` must return the runtime for the *proportionally
-    enlarged* problem; the callable owns the problem-size rule.
-    ``mapper`` fans the sweep out like in :func:`strong_scaling`.
+    enlarged* problem (NaN marks a failed point under graceful
+    degradation; it lands in :attr:`WeakScalingResult.failed` and the
+    efficiency baseline becomes the smallest *surviving* count); the
+    callable owns the problem-size rule.  ``mapper`` fans the sweep
+    out like in :func:`strong_scaling`.
     """
     ordered = sorted(set(node_counts))
     runtimes = (mapper or _sequential_map)(run, ordered)
+    failed = [n for n, t in zip(ordered, runtimes) if math.isnan(t)]
     points = [ScalingPoint(nodes=n, runtime=t)
-              for n, t in zip(ordered, runtimes)]
-    return WeakScalingResult(benchmark=benchmark, points=points)
+              for n, t in zip(ordered, runtimes) if not math.isnan(t)]
+    return WeakScalingResult(benchmark=benchmark, points=points,
+                             failed=failed)

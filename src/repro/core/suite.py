@@ -172,6 +172,11 @@ class JupiterBenchmarkSuite:
         parallel and memoise through the engine's content-addressed
         cache; results always come back in the requested order.
         Without one this is a plain sequential loop.
+
+        An engine in graceful-degradation mode (``engine.degrade``,
+        the default under fault injection) never aborts the batch: a
+        benchmark whose retries are exhausted is recorded as an error
+        in the run journal and dropped from the returned results.
         """
         wanted = list(names) if names is not None else self.names()
         tracer = current_tracer()
@@ -196,7 +201,11 @@ class JupiterBenchmarkSuite:
                                   encode=encode_result,
                                   decode=decode_result)
                          for name in wanted]
-                results = self.engine.run(items)
+                if self.engine.degrade:
+                    results = [o.value for o in self.engine.map(items)
+                               if o.ok]
+                else:
+                    results = self.engine.run(items)
             for result in results:
                 self._observe(result)
         return results
@@ -218,7 +227,13 @@ class JupiterBenchmarkSuite:
     def _point_mapper(self, name: str, *, study: str,
                       variant: MemoryVariant | None,
                       scale: float) -> PointMapper | None:
-        """A scaling-study mapper fanning node points through the engine."""
+        """A scaling-study mapper fanning node points through the engine.
+
+        In graceful-degradation mode a failed point maps to NaN -- the
+        scaling aggregators collect those into their ``failed`` node
+        lists (journalled as errors, skipped in figures) instead of
+        aborting the sweep.
+        """
         if self.engine is None:
             return None
 
@@ -230,6 +245,9 @@ class JupiterBenchmarkSuite:
                                                kind=f"{study}-fom"),
                               label=f"{study}:{name}@{n}")
                      for n in counts]
+            if self.engine.degrade:
+                return [o.value if o.ok else float("nan")
+                        for o in self.engine.map(items)]
             return self.engine.run(items)
 
         return mapper

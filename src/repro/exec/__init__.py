@@ -37,11 +37,14 @@ from .engine import (
     WorkItem,
 )
 from .journal import JournalStats, RunJournal, TaskRecord
+from .resilience import BackoffPolicy, CircuitBreaker
 
 __all__ = [
     "BACKENDS",
+    "BackoffPolicy",
     "CODE_VERSION",
     "CacheStats",
+    "CircuitBreaker",
     "DiskCache",
     "EngineError",
     "ExecutionEngine",

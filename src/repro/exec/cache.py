@@ -61,6 +61,17 @@ def stable_hash(obj: Any) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
+def hash_fraction(*parts: Any) -> float:
+    """A deterministic pseudo-uniform draw in ``[0, 1)`` from content.
+
+    Replaces ``random.random()`` at sites that must stay reproducible
+    across worker counts and call order (fault-rate decisions, backoff
+    jitter): the value depends only on ``parts`` via
+    :func:`stable_hash`, never on execution history.
+    """
+    return int(stable_hash(list(parts))[:12], 16) / float(16 ** 12)
+
+
 def result_key(benchmark: str, params: dict[str, Any], *,
                platform: str = "", version: str = CODE_VERSION) -> str:
     """The content address of one benchmark execution.

@@ -52,7 +52,21 @@ class EngineError(RuntimeError):
 
 
 class TaskTimeout(RuntimeError):
-    """A task attempt exceeded its time budget."""
+    """A task attempt exceeded its time budget.
+
+    The timeout is *cooperative* and enforced post-hoc: the attempt
+    runs to completion, then its wall time is compared with the
+    budget.  A too-slow attempt is therefore never preempted -- it
+    fails after the fact with this exception carrying the measured
+    ``elapsed`` time and the ``budget`` it blew (both also in the
+    message, so journalled ``error`` strings show the overrun).
+    """
+
+    def __init__(self, message: str, *, elapsed: float = 0.0,
+                 budget: float = 0.0):
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.budget = budget
 
 
 @dataclass
@@ -131,16 +145,44 @@ class _Attempt:
     thread_ident: int = 0
 
 
+def _pause(clock: Callable[[], float], seconds: float) -> None:
+    """Backoff pause: advance a virtual clock, else sleep for real.
+
+    Virtual clocks (:class:`~repro.telemetry.spans.ManualClock`) expose
+    ``advance``; under one, backoff costs simulated time only -- which
+    keeps chaos runs fast *and* deterministic.
+    """
+    advance = getattr(clock, "advance", None)
+    if advance is not None:
+        advance(seconds)
+    elif seconds > 0:
+        time.sleep(seconds)
+
+
 def _run_guarded(fn: Callable[..., Any], args: tuple,
                  kwargs: dict[str, Any], retries: int,
                  timeout: float | None,
-                 clock: Callable[[], float] = time.perf_counter) -> _Attempt:
+                 clock: Callable[[], float] = time.perf_counter,
+                 guard: Callable[[int], None] | None = None,
+                 backoff: Any = None, label: str = "") -> _Attempt:
     """Run one item inside the fault boundary.
 
-    Module-level so the process backend can pickle it.  The timeout is
-    enforced post-hoc on the attempt's wall time (simulated workloads
-    cannot be preempted portably); a too-slow attempt counts as a
-    failure and is retried like any other.
+    Module-level so the process backend can pickle it.
+
+    **Cooperative timeout semantics**: the timeout is enforced
+    *post-hoc* on the attempt's wall time -- simulated workloads cannot
+    be preempted portably, so an attempt that exceeds ``timeout`` still
+    runs to completion before :class:`TaskTimeout` is raised.  The
+    too-slow attempt then counts as a failure (retried like any other);
+    if it was the final attempt the outcome reports ``ok=False`` with
+    the measured elapsed time in the error string.
+
+    ``guard`` is the fault-injection hook: called with the 1-based
+    attempt ordinal before the payload runs, it may raise
+    ``InjectedFault`` (captured and retried like an organic failure).
+    ``backoff`` (a :class:`~repro.exec.resilience.BackoffPolicy`)
+    inserts a deterministic pause between failed attempts, advancing
+    virtual clocks instead of sleeping.
 
     Every attempt runs under a local span collector installed as the
     ambient tracer, so instrumented task code (JUBE workunits, nested
@@ -160,16 +202,23 @@ def _run_guarded(fn: Callable[..., Any], args: tuple,
             with collector.span("attempt", n=attempts) as span:
                 t0 = clock()
                 try:
+                    if guard is not None:
+                        guard(attempts)
                     value = fn(*args, **kwargs)
                     elapsed = clock() - t0
                     if timeout is not None and elapsed > timeout:
                         raise TaskTimeout(
                             f"attempt took {elapsed:.3f} s > "
-                            f"timeout {timeout:.3f} s")
+                            f"timeout {timeout:.3f} s",
+                            elapsed=elapsed, budget=timeout)
                 except Exception as exc:  # the boundary: capture, retry
                     last = exc
                     span.set(status="error",
                              error=f"{type(exc).__name__}: {exc}")
+                    if backoff is not None and attempts <= retries:
+                        delay = backoff.delay(label, attempts)
+                        span.set(backoff=delay)
+                        _pause(clock, delay)
                     continue
                 span.set(status="ok")
                 ok = True
@@ -194,7 +243,9 @@ class ExecutionEngine:
                  timeout: float | None = None,
                  journal: RunJournal | None = None,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 faults: Any = None, backoff: Any = None,
+                 breaker: Any = None, degrade: bool | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if backend not in BACKENDS:
@@ -209,6 +260,16 @@ class ExecutionEngine:
         self.cache = cache
         self.retries = retries
         self.timeout = timeout
+        #: fault injector (duck-typed: ``task_guard(label)``); None = off
+        self.faults = faults
+        #: retry backoff policy (duck-typed: ``delay(label, attempt)``)
+        self.backoff = backoff
+        #: circuit breaker (duck-typed: ``allow``/``block``/``record``)
+        self.breaker = breaker
+        #: graceful degradation: suite/scaling callers use ``map`` and
+        #: record failures instead of aborting on the first error.
+        #: Defaults to on whenever a fault injector is attached.
+        self.degrade = (faults is not None) if degrade is None else degrade
         #: the span stream every processed task lands on
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else default_registry()
@@ -229,10 +290,18 @@ class ExecutionEngine:
         items = list(items)
         outcomes: list[TaskOutcome | None] = [None] * len(items)
         pending: list[int] = []
+        # Circuit-breaker decisions are snapshotted for the whole batch
+        # before anything runs and outcomes are recorded after the
+        # batch completes (in submission order) -- a mid-batch state
+        # update would let thread interleaving change later decisions
+        # and break workers=1 vs workers=8 equivalence.
         for i, item in enumerate(items):
             hit = self._lookup(i, item)
             if hit is not None:
                 outcomes[i] = hit
+            elif self.breaker is not None and \
+                    not self.breaker.allow(item.display(i)):
+                outcomes[i] = self._skip(i, item)
             else:
                 pending.append(i)
 
@@ -240,7 +309,7 @@ class ExecutionEngine:
         if self.backend == "serial":
             for i in pending:
                 outcomes[i] = self._finish(i, items[i],
-                                           self._attempt_inline(items[i]),
+                                           self._attempt_inline(i, items[i]),
                                            submitted)
         else:
             with self._executor() as pool:
@@ -248,12 +317,20 @@ class ExecutionEngine:
                     i: pool.submit(
                         _run_guarded, items[i].fn, items[i].args,
                         items[i].kwargs, self._retries_for(items[i]),
-                        self._timeout_for(items[i]), self.tracer.clock)
+                        self._timeout_for(items[i]), self.tracer.clock,
+                        self._guard_for(i, items[i]), self.backoff,
+                        items[i].display(i))
                     for i in pending
                 }
                 for i, future in futures.items():
                     outcomes[i] = self._finish(i, items[i], future.result(),
                                                submitted)
+
+        if self.breaker is not None:
+            for i in pending:
+                done_outcome = outcomes[i]
+                assert done_outcome is not None
+                self.breaker.record(done_outcome.label, done_outcome.ok)
 
         done = [o for o in outcomes if o is not None]
         assert len(done) == len(items)
@@ -289,10 +366,42 @@ class ExecutionEngine:
     def _timeout_for(self, item: WorkItem) -> float | None:
         return self.timeout if item.timeout is None else item.timeout
 
-    def _attempt_inline(self, item: WorkItem) -> _Attempt:
+    def _attempt_inline(self, index: int, item: WorkItem) -> _Attempt:
         return _run_guarded(item.fn, item.args, item.kwargs,
                             self._retries_for(item),
-                            self._timeout_for(item), self.tracer.clock)
+                            self._timeout_for(item), self.tracer.clock,
+                            self._guard_for(index, item), self.backoff,
+                            item.display(index))
+
+    def _guard_for(self, index: int,
+                   item: WorkItem) -> Callable[[int], None] | None:
+        """Fault-injection guard for one item (picklable), or None."""
+        if self.faults is None:
+            return None
+        return self.faults.task_guard(item.display(index))
+
+    def _skip(self, index: int, item: WorkItem) -> TaskOutcome:
+        """Short-circuit an item whose label's circuit is open.
+
+        No attempt runs; the outcome (attempts=0) carries a
+        ``CircuitOpen`` error, lands in journal/metrics like any other
+        failure, and a ``fault`` telemetry event marks the skip.
+        """
+        label = item.display(index)
+        self.breaker.block(label)
+        now = self.tracer.now()
+        outcome = TaskOutcome(
+            index=index, label=label, attempts=0, cache="off",
+            started=now, finished=now, key=item.key,
+            error=f"CircuitOpen: {label!r} skipped by circuit breaker "
+                  f"(state {self.breaker.state(label)})")
+        self._emit_task(outcome, spans=(), offset=0.0)
+        self.tracer.emit({"type": "fault", "category": "breaker",
+                          "target": label, "action": "skip", "at": now})
+        self.metrics.counter("engine_tasks_total", status="error",
+                             cache="off").inc()
+        self.metrics.counter("engine_breaker_skips_total").inc()
+        return outcome
 
     def _lookup(self, index: int, item: WorkItem) -> TaskOutcome | None:
         """Resolve an item from cache, or None when it must execute."""

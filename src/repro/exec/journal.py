@@ -131,6 +131,25 @@ class RunJournal:
         with self._lock:
             return len(self._records)
 
+    def canonical(self) -> "RunJournal":
+        """The journal re-timed onto a virtual unit timeline.
+
+        Records are ordered by ``(index, label)`` and assigned
+        ``started=i, finished=i+1``: the result depends only on *what*
+        ran and *how it ended*, never on scheduling, so its
+        :meth:`to_jsonl` output is byte-identical across cold runs
+        *and* across worker counts -- the chaos determinism artifact.
+        """
+        out = RunJournal()
+        ordered = sorted(self.records, key=lambda r: (r.index, r.label))
+        for i, rec in enumerate(ordered):
+            out.append(TaskRecord(index=rec.index, label=rec.label,
+                                  status=rec.status, cache=rec.cache,
+                                  attempts=rec.attempts, started=float(i),
+                                  finished=float(i + 1), key=rec.key,
+                                  error=rec.error))
+        return out
+
     def clear(self) -> None:
         with self._lock:
             self._records.clear()

@@ -1,0 +1,85 @@
+"""The fault injector: plan hooks for engine, scheduler and network.
+
+One :class:`FaultInjector` adapts a declarative
+:class:`~repro.faults.plan.FaultPlan` to the three injection surfaces:
+
+* :meth:`task_guard` -- a picklable per-label callable the execution
+  engine invokes at the top of every attempt (raises
+  :class:`~repro.faults.plan.InjectedFault` on scheduled attempts),
+* :meth:`cluster_timeline` / :meth:`observe` -- crash/restore and
+  straggler events consumed by the cluster scheduler's virtual clock,
+* :meth:`degradation` -- a frozen per-link-class bandwidth multiplier
+  model attached to :class:`~repro.cluster.network.NetworkModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable
+
+from ..telemetry.spans import current_tracer
+from .plan import FaultPlan
+
+
+@dataclass(frozen=True)
+class LinkDegradationModel:
+    """Per-link-class bandwidth multipliers (1.0 = undegraded).
+
+    ``factors`` maps link-class slugs (``intra_node`` ...) to the
+    retained bandwidth fraction.  Frozen and hashable so it can live
+    on the frozen :class:`~repro.cluster.network.NetworkModel`.
+    """
+
+    factors: tuple[tuple[str, float], ...] = ()
+
+    def factor(self, link: Any) -> float:
+        """Multiplier for a :class:`~repro.cluster.topology.LinkClass`
+        (or its slug); unknown / unaffected classes return 1.0."""
+        name = getattr(link, "name", link)
+        name = str(name).lower().replace("-", "_")
+        for key, value in self.factors:
+            if key == name:
+                return value
+        return 1.0
+
+
+class FaultInjector:
+    """Adapts a :class:`FaultPlan` to the engine/cluster/network hooks."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    # -- engine -------------------------------------------------------------
+
+    def task_guard(self, label: str) -> Callable[[int], None] | None:
+        """Guard callable for one task label, or None when no task rule
+        could ever hit it.  ``guard(attempt)`` raises ``InjectedFault``
+        on scheduled attempts; a bound-method partial over the frozen
+        plan, so the process backend can pickle it."""
+        if not self.plan.tasks:
+            return None
+        return partial(self.plan.check_and_raise, label)
+
+    # -- cluster ------------------------------------------------------------
+
+    def cluster_timeline(self) -> list[tuple[float, str, int, float]]:
+        """Sorted ``(time, action, node, factor)`` scheduler events."""
+        return self.plan.cluster_timeline()
+
+    def observe(self, action: str, node: int, at: float) -> None:
+        """Scheduler callback: emit one fault telemetry event."""
+        category = "node" if action in ("crash", "restore") else "straggler"
+        current_tracer().emit({"type": "fault", "category": category,
+                               "target": f"node:{node}", "action": action,
+                               "at": at})
+
+    # -- network ------------------------------------------------------------
+
+    def degradation(self) -> LinkDegradationModel | None:
+        """Bandwidth degradation model, or None when no link faults."""
+        factors = self.plan.link_factors()
+        if not factors:
+            return None
+        return LinkDegradationModel(
+            factors=tuple(sorted(factors.items())))

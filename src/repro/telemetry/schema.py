@@ -18,6 +18,11 @@ types:
     ``bucket`` ("compute" | "comm"), ``label`` and virtual ``seconds``.
 ``metrics``
     A full metrics-registry ``snapshot``.
+``fault``
+    One injected fault firing (``repro.faults``): ``category``
+    ("task" | "node" | "link" | "straggler" | "breaker"), ``target``
+    (task label / ``node:N`` / link class), ``action`` and the
+    tracer-clock time ``at``.
 
 :func:`validate_event` / :func:`validate_file` enforce this shape; the
 CI smoke job runs ``python -m repro.telemetry.schema trace.jsonl``.
@@ -45,11 +50,14 @@ _REQUIRED: dict[str, dict[str, tuple[type, ...]]] = {
     "vmpi": {"benchmark": (str,), "nodes": (int,), "rank": (int,),
              "bucket": (str,), "label": (str,), "seconds": _NUMBER},
     "metrics": {"snapshot": (dict,)},
+    "fault": {"category": (str,), "target": (str,), "action": (str,),
+              "at": _NUMBER},
 }
 
 _TASK_STATUSES = ("ok", "error")
 _CACHE_STATES = ("hit", "miss", "off")
 _VMPI_BUCKETS = ("compute", "comm")
+_FAULT_CATEGORIES = ("task", "node", "link", "straggler", "breaker")
 
 
 class SchemaError(ValueError):
@@ -96,6 +104,10 @@ def validate_event(obj: Any) -> dict[str, Any]:
                               f"{_VMPI_BUCKETS}")
         if obj["seconds"] < 0 or obj["rank"] < 0:
             raise SchemaError("vmpi event with negative rank/seconds")
+    elif etype == "fault":
+        if obj["category"] not in _FAULT_CATEGORIES:
+            raise SchemaError(f"fault category {obj['category']!r} not in "
+                              f"{_FAULT_CATEGORIES}")
     elif etype == "meta" and obj["schema"] != SCHEMA_NAME:
         raise SchemaError(f"unsupported schema {obj['schema']!r}; "
                           f"this reader understands {SCHEMA_NAME!r}")

@@ -61,6 +61,85 @@ def build_telemetry_tracer(subscriber=None):
     return tracer
 
 
+#: The benchmark set of the chaos equivalence golden.
+CHAOS_BENCHMARKS = ("Arbor", "JUQCS", "HPL", "STREAM")
+
+
+def chaos_plan():
+    """The canned fault plan behind the chaos goldens.
+
+    Authored explicitly (not seed-generated) so the exercised paths
+    are obvious: Arbor sails through, JUQCS recovers after one
+    injected failure, HPL after two, and STREAM exhausts the retry
+    budget of 2 and lands in the journal as an explicit error.  The
+    cluster and link faults only feed the trace's fault lane here.
+    """
+    from repro.faults import (
+        FaultPlan,
+        LinkFault,
+        NodeFault,
+        StragglerFault,
+        TaskFaultRule,
+    )
+
+    return FaultPlan(
+        seed=2024,
+        tasks=(
+            TaskFaultRule(match="run:JUQCS", attempts=(1,)),
+            TaskFaultRule(match="run:HPL", attempts=(1, 2)),
+            TaskFaultRule(match="run:STREAM", attempts=(1, 2, 3)),
+        ),
+        nodes=(NodeFault(node=3, at=10.0, duration=25.0),),
+        stragglers=(StragglerFault(node=5, factor=2.0, at=0.0,
+                                   duration=40.0),),
+        links=(LinkFault(link="inter_cell", factor=0.5),),
+    )
+
+
+def build_chaos_artifacts(workers: int = 2):
+    """Run the four-benchmark suite under the canned chaos plan.
+
+    Returns ``(journal, plan)``; shared between golden regeneration
+    and the byte-stability tests so both see the same run recipe.
+    """
+    from repro.core import load_suite
+    from repro.exec import BackoffPolicy, CircuitBreaker, ExecutionEngine
+    from repro.faults import FaultInjector
+    from repro.telemetry import ManualClock, Tracer
+
+    plan = chaos_plan()
+    engine = ExecutionEngine(
+        workers=workers, backend="thread", cache=None, retries=2,
+        tracer=Tracer(clock=ManualClock(start=0.0, tick=0.25)),
+        faults=FaultInjector(plan), backoff=BackoffPolicy(seed=plan.seed),
+        breaker=CircuitBreaker())
+    suite = load_suite()
+    prev = suite.engine
+    suite.engine = engine
+    try:
+        suite.run_all(list(CHAOS_BENCHMARKS))
+    finally:
+        suite.engine = prev
+    return engine.journal, plan
+
+
+def regenerate_chaos_goldens() -> dict[str, Path]:
+    """The chaos equivalence artifacts: canonical journal + trace.
+
+    Both are rendered from the canonical journal / the declarative
+    plan, so they are byte-stable across regenerations *and* worker
+    counts (the chaos determinism pin).
+    """
+    from repro.faults import write_chaos_trace
+
+    journal, plan = build_chaos_artifacts()
+    journal_path = GOLDEN_DIR / "chaos_journal.jsonl"
+    journal.canonical().to_jsonl(journal_path)
+    trace_path = GOLDEN_DIR / "chaos_trace.json"
+    write_chaos_trace(trace_path, journal, plan)
+    return {"chaos_journal": journal_path, "chaos_trace": trace_path}
+
+
 def regenerate_check_goldens() -> dict[str, Path]:
     """Static-analysis snapshots over the known-bad fixture tree.
 
@@ -121,6 +200,7 @@ def regenerate() -> dict[str, Path]:
     return {"foms": foms_path, "curve": curve_path,
             "telemetry_trace": trace_path,
             "telemetry_chrome": chrome_path,
+            **regenerate_chaos_goldens(),
             **regenerate_check_goldens()}
 
 

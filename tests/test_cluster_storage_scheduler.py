@@ -175,3 +175,68 @@ class TestScheduler:
         s.drain()
         assert first.wait_time == pytest.approx(0.0)
         assert second.wait_time == pytest.approx(42.0)
+
+    def test_cancel_running_job_frees_nodes_immediately(self):
+        s = self.make()
+        victim = s.submit(Job("victim", nodes=96, walltime=100))
+        waiting = s.submit(Job("waiting", nodes=96, walltime=10))
+        assert victim.state is JobState.RUNNING
+        assert waiting.state is JobState.PENDING
+        s.cancel(victim)
+        # cancelled at now=0: nodes freed, the waiter starts at once
+        assert victim.state is JobState.CANCELLED
+        assert victim.end_time == pytest.approx(0.0)
+        assert waiting.state is JobState.RUNNING
+        s.drain()
+        assert waiting.state is JobState.COMPLETED
+        assert waiting.start_time == pytest.approx(0.0)
+
+    def test_cancel_running_midway_counts_partial_utilization(self):
+        s = self.make()
+        short = s.submit(Job("short", nodes=48, walltime=10))
+        long = s.submit(Job("long", nodes=48, walltime=100))
+        assert s.step()  # advance to t=10 (short completes)
+        s.cancel(long)   # long ran [0, 10) on 48 nodes
+        assert long.state is JobState.CANCELLED
+        assert long.end_time == pytest.approx(10.0)
+        # used: 10*48 (short) + 10*48 (partial long) over 10 s * 96 nodes
+        assert s.utilization == pytest.approx(1.0)
+        assert short.state is JobState.COMPLETED
+
+    def test_drain_with_unsatisfiable_job_raises(self):
+        # a job equal to the machine is fine; one the free pool can
+        # never satisfy (here: a node died permanently) must surface
+        # through drain() instead of hanging the simulation
+        from repro.faults import FaultInjector, FaultPlan, NodeFault
+
+        plan = FaultPlan(nodes=(NodeFault(node=0, at=0.0),))
+        s = Scheduler(juwels_booster().with_nodes(96),
+                      faults=FaultInjector(plan))
+        s.submit(Job("warm", nodes=1, walltime=1))
+        full = s.submit(Job("full-machine", nodes=96, walltime=1))
+        with pytest.raises(RuntimeError, match="full-machine"):
+            s.drain()
+        assert full.state is JobState.PENDING
+        assert s.dead_nodes == 1
+
+    def test_drain_job_larger_than_machine_rejected_at_submit(self):
+        s = self.make()
+        with pytest.raises(ValueError, match="requests 97 nodes"):
+            s.submit(Job("too-big", nodes=97, walltime=1))
+
+    def test_utilization_accounts_partial_run_after_requeue(self):
+        from repro.faults import FaultInjector, FaultPlan, NodeFault
+
+        # node 0 dies at t=30 and returns at t=50; the full-machine job
+        # started at t=0 requeues and reruns [50, 150)
+        plan = FaultPlan(nodes=(NodeFault(node=0, at=30.0, duration=20.0),))
+        s = Scheduler(juwels_booster().with_nodes(96),
+                      faults=FaultInjector(plan))
+        job = s.submit(Job("big", nodes=96, walltime=100))
+        s.drain()
+        assert job.state is JobState.COMPLETED
+        assert job.requeues == 1
+        assert job.start_time == pytest.approx(50.0)
+        assert job.end_time == pytest.approx(150.0)
+        # partial [0, 30) * 96 + full [50, 150) * 96 over 150 s * 96
+        assert s.utilization == pytest.approx((30.0 + 100.0) / 150.0)

@@ -87,6 +87,52 @@ class TestRetries:
         assert isinstance(out[0].exception, TaskTimeout)
 
 
+class TestCooperativeTimeoutSemantics:
+    """Regression pins for the documented post-hoc timeout contract.
+
+    The timeout is cooperative: an over-budget attempt runs to
+    completion and only *then* fails with :class:`TaskTimeout`.  A
+    timed-out final attempt must therefore report ``ok=False`` with
+    the measured elapsed time in the error string.
+    """
+
+    def test_overlong_attempt_runs_to_completion_before_failing(self):
+        stub = FailNTimesStub(n_failures=0, slow_first=0.05)
+        out = ExecutionEngine(workers=1, timeout=0.01).map(
+            [WorkItem(fn=stub, label="slow")])
+        # the payload DID complete (one call happened) -- the timeout
+        # fired after the fact, not preemptively
+        assert stub.calls == 1
+        assert not out[0].ok
+
+    def test_timed_out_final_attempt_reports_elapsed_in_error(self):
+        stub = FailNTimesStub(n_failures=0, slow_first=0.05)
+        out = ExecutionEngine(workers=1, retries=0, timeout=0.01).map(
+            [WorkItem(fn=stub, label="slow")])
+        assert out[0].ok is False
+        exc = out[0].exception
+        assert isinstance(exc, TaskTimeout)
+        assert exc.elapsed >= 0.05 and exc.budget == 0.01
+        # the elapsed time is part of the journalled error string
+        assert "attempt took" in out[0].error
+        assert f"{exc.elapsed:.3f}" in out[0].error
+        assert "timeout 0.010" in out[0].error
+
+    def test_virtual_clock_timeout_is_deterministic(self):
+        from repro.telemetry import ManualClock, Tracer
+
+        def two_ticks():
+            clock()  # consume virtual time inside the attempt
+            return 1
+
+        clock = ManualClock(start=0.0, tick=1.0)
+        engine = ExecutionEngine(workers=1, timeout=0.5,
+                                 tracer=Tracer(clock=clock))
+        out = engine.map([WorkItem(fn=two_ticks, label="ticks")])
+        assert not out[0].ok
+        assert isinstance(out[0].exception, TaskTimeout)
+
+
 def _spec(fail_on: int) -> BenchmarkSpec:
     """A spec with 5 workunits where workunit ``fail_on`` always fails."""
 

@@ -84,6 +84,54 @@ class TestGoldenScalingCurve:
                               f"scaling runtime at {nodes} nodes")
 
 
+class TestChaosGoldens:
+    """Chaos equivalence golden: byte-for-byte, not tolerance-aware.
+
+    The canonical journal and the chaos trace are rendered from
+    plan-determined data (virtual clock, canonical re-timing), so any
+    byte that moves is a real behavioural change in fault injection,
+    retry accounting or trace rendering -- never float noise.
+    """
+
+    def _artifacts(self, tmp_path, workers):
+        from repro.faults import write_chaos_trace
+        from tests.regen_goldens import build_chaos_artifacts
+
+        journal, plan = build_chaos_artifacts(workers=workers)
+        jpath = tmp_path / f"journal-{workers}.jsonl"
+        journal.canonical().to_jsonl(jpath)
+        tpath = tmp_path / f"trace-{workers}.json"
+        write_chaos_trace(tpath, journal, plan)
+        return jpath.read_bytes(), tpath.read_bytes()
+
+    def test_journal_and_trace_match_goldens(self, tmp_path):
+        journal, trace = self._artifacts(tmp_path, workers=2)
+        golden_journal = (GOLDEN_DIR / "chaos_journal.jsonl").read_bytes()
+        golden_trace = (GOLDEN_DIR / "chaos_trace.json").read_bytes()
+        assert journal == golden_journal, (
+            "chaos journal drifted from tests/goldens/chaos_journal"
+            ".jsonl; regenerate via tests/regen_goldens.py if the "
+            "fault schedule change is intentional")
+        assert trace == golden_trace, (
+            "chaos trace drifted from tests/goldens/chaos_trace.json; "
+            "regenerate via tests/regen_goldens.py if intentional")
+
+    def test_worker_count_does_not_move_a_byte(self, tmp_path):
+        assert self._artifacts(tmp_path, workers=1) == \
+            self._artifacts(tmp_path, workers=8)
+
+    def test_golden_journal_exercises_recovery_and_failure(self):
+        lines = (GOLDEN_DIR / "chaos_journal.jsonl").read_text()
+        records = [json.loads(line) for line in lines.splitlines()]
+        by_label = {r["label"]: r for r in records
+                    if r.get("type") == "task"}
+        assert by_label["run:Arbor"]["status"] == "ok"
+        assert by_label["run:JUQCS"]["attempts"] == 2
+        assert by_label["run:HPL"]["attempts"] == 3
+        assert by_label["run:STREAM"]["status"] == "error"
+        assert "InjectedFault" in by_label["run:STREAM"]["error"]
+
+
 class TestComparator:
     def test_exact_match_passes(self):
         assert_close(1.0, 1.0, what="identity")
