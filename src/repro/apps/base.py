@@ -20,9 +20,17 @@ from typing import Any
 from ..core.benchmark import Benchmark, BenchmarkResult
 from ..core.registry import get_info
 from ..core.variants import MemoryVariant, VariantSizing
+from ..units import register_dims
 from ..vmpi.engine import Engine
 from ..vmpi.machine import Machine
 from ..vmpi.trace import SpmdResult
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules;
+#: every benchmark funnels its FOM through ``result(fom_seconds=...)``,
+#: so this one key polices the suite-wide time-metric promise
+DIMS = register_dims(__name__, {
+    "result.fom_seconds": "s",
+})
 
 
 def pow2_floor(n: int) -> int:

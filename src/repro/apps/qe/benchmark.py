@@ -92,9 +92,10 @@ def qe_timing_program(comm, mesh: tuple[int, int, int], bands: int,
                     tuple(Phantom(16 * transpose_bytes / comm.size)
                           for _ in range(comm.size)),
                     label="fft-transpose")
-        # subspace diagonalisation / orthonormalisation (ELPA-ish GEMM)
+        # subspace diagonalisation / orthonormalisation (ELPA-ish GEMM);
+        # the operand block is bands x points_local complex128 elements
         yield comm.compute(flops=2.0 * bands ** 2 * points_local / 16,
-                           bytes_moved=bands * points_local,
+                           bytes_moved=bands * points_local * 16.0,
                            efficiency=0.5, label="subspace")
         yield comm.allreduce(Phantom(bands * bands * 16.0 / comm.size),
                              label="subspace-reduce")

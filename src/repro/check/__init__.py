@@ -11,11 +11,22 @@ the codebase silently assumes:
   references resolve, unit prefixes are not abused as quantities;
 * **concurrency** (LCK201 + :class:`LockOrderWatcher`) -- module-level
   state is mutated under a lock, and lock acquisition order stays
-  acyclic at runtime.
+  acyclic at runtime;
+* **dimensions** (UNIT301..UNIT305, ``repro.check.dims`` +
+  ``rules/dataflow``) -- a flow-sensitive dimensional dataflow pass
+  proving that quantities keep their physical dimension (seconds,
+  bytes, rates) through the cost model, seeded by ``repro.units``
+  constants and the ``DIMS = register_dims(...)`` annotation registry;
+* **cross-layer** (XLY401..XLY403) -- telemetry event types exist in
+  the schema, CLI flags are documented in the README, rule ids are
+  registered exactly once.
 
-Run it as ``jubench check`` or ``python -m repro.check``.
+Run it as ``jubench check`` or ``python -m repro.check``; pass a cache
+(``--cache-dir``) for incremental warm runs and ``--workers`` for
+parallel analysis.
 """
 
+from .dims import Dim, DimRegistry, build_registry, parse_dim
 from .engine import Analyzer, CheckReport, runtime_contract_findings
 from .findings import (
     Baseline,
@@ -38,10 +49,11 @@ from .sanitizer import (
 )
 
 __all__ = [
-    "Analyzer", "Baseline", "BaselineEntry", "CheckReport", "Finding",
-    "LockGraph", "LockOrderError", "LockOrderWatcher", "RULE_CLASSES",
-    "Severity", "default_rules", "install", "install_from_env",
-    "installed_graph", "load_baseline", "render_human", "render_json",
+    "Analyzer", "Baseline", "BaselineEntry", "CheckReport", "Dim",
+    "DimRegistry", "Finding", "LockGraph", "LockOrderError",
+    "LockOrderWatcher", "RULE_CLASSES", "Severity", "build_registry",
+    "default_rules", "install", "install_from_env", "installed_graph",
+    "load_baseline", "parse_dim", "render_human", "render_json",
     "render_sarif", "rule_ids", "runtime_contract_findings",
     "save_baseline", "uninstall",
 ]

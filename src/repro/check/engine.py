@@ -16,16 +16,35 @@ carry no justification text: an exemption without a reason is a bug.
 from __future__ import annotations
 
 import ast
+import functools
 import re
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
+from ..exec.cache import CODE_VERSION, ResultCache, stable_hash
+from .dims import build_registry
 from .findings import Baseline, BaselineEntry, Finding, Severity
-from .rules import Collector, ModuleInfo, Rule, default_rules
+from .rules import Collector, ModuleInfo, ProjectContext, Rule, default_rules
 
 _ALLOW = re.compile(
     r"#\s*repro:\s*allow\(\s*([A-Za-z0-9_*,\s-]+?)\s*\)(?:\s*:\s*(\S.*))?")
+
+
+@functools.lru_cache(maxsize=1)
+def _ruleset_fingerprint() -> str:
+    """Content hash of the check package's own sources.
+
+    Enters every incremental cache key as the "rule-set version": any
+    edit to a rule, the engine, or the dimension model invalidates all
+    cached per-module results, so stale findings can never be replayed.
+    """
+    package = Path(__file__).resolve().parent
+    sources = {p.relative_to(package).as_posix():
+               p.read_text(encoding="utf-8")
+               for p in sorted(package.rglob("*.py"))}
+    return stable_hash({"version": CODE_VERSION, "sources": sources})
 
 
 @dataclass
@@ -38,6 +57,10 @@ class CheckReport:
     unused_baseline: list[BaselineEntry] = field(default_factory=list)
     files_checked: int = 0
     rules_run: list[Rule] = field(default_factory=list)
+    #: incremental-cache counters; deliberately NOT part of counts()
+    #: or any reporter output, so cold and warm runs stay byte-identical
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def strict_violations(self) -> list[Finding]:
         """Suppressed/baselined findings carrying no justification."""
@@ -88,26 +111,48 @@ class Analyzer:
         self.rules = list(rules) if rules is not None else default_rules()
         only_set = set(only)
         disable_set = set(disable)
-        known = {r.id for r in self.rules}
+        known: set[str] = set()
+        for r in self.rules:
+            known.update(r.all_ids())
         unknown = (only_set | disable_set) - known
         if unknown:
             raise ValueError(
                 f"unknown rule id(s): {', '.join(sorted(unknown))}; "
                 f"known: {', '.join(sorted(known))}")
-        if only_set:
-            self.rules = [r for r in self.rules if r.id in only_set]
-        self.rules = [r for r in self.rules if r.id not in disable_set]
+        kept: list[Rule] = []
+        for rule in self.rules:
+            enabled = set(rule.all_ids())
+            if only_set:
+                enabled &= only_set
+            enabled -= disable_set
+            if not enabled:
+                continue
+            rule.enabled_ids = frozenset(enabled)
+            kept.append(rule)
+        self.rules = kept
         self.baseline = baseline or Baseline()
 
     # -- running -------------------------------------------------------------
 
     def run(self, root: str | Path,
-            rel_base: str | Path | None = None) -> CheckReport:
+            rel_base: str | Path | None = None, *,
+            workers: int = 1,
+            cache: ResultCache | None = None) -> CheckReport:
         """Analyze every ``*.py`` under ``root``.
 
         ``rel_base`` anchors reported paths (default: ``root``'s
         parent, so findings read ``repro/...``); pass the repository
         root to get ``src/repro/...`` paths that match the baseline.
+
+        ``workers`` > 1 analyzes modules with *local* rules from a
+        thread pool; ``cache`` enables incremental analysis -- each
+        module's local-rule findings are stored under a content hash of
+        its source, the rule-set version (the check package's own
+        sources), the enabled rule ids and the project annotation
+        registry, so a warm run only re-analyzes what changed.
+        Project-scoped rules (cross-module state) always run.
+        Classification is order-insensitive, so cold, warm and parallel
+        runs produce identical reports.
         """
         root = Path(root).resolve()
         base = Path(rel_base).resolve() if rel_base else root.parent
@@ -131,14 +176,62 @@ class Analyzer:
                 continue
             modules.append(ModuleInfo(path=path, relpath=relpath,
                                       tree=tree, lines=lines))
+        ctx = ProjectContext(root=root, rel_base=base, modules=modules,
+                             registry=build_registry(
+                                 (m.relpath, m.tree) for m in modules))
+        for rule in self.rules:
+            rule.prepare(ctx)
+        local = [r for r in self.rules if r.scope == "local"]
+        project = [r for r in self.rules if r.scope != "local"]
+        registry_hash = stable_hash(ctx.registry.content())
+
+        stats_before = (cache.stats.snapshot() if cache is not None
+                        else None)
+
+        def analyze(module: ModuleInfo) -> list[Finding]:
+            rules = [r for r in local if r.applies_to(module.relpath)]
+            if not rules:
+                return []
+            key = None
+            if cache is not None:
+                key = "check-" + stable_hash({
+                    "relpath": module.relpath,
+                    "source": "\n".join(module.lines),
+                    "ruleset": _ruleset_fingerprint(),
+                    "registry": registry_hash,
+                    "rules": sorted(i for r in rules
+                                    for i in (r.enabled_ids or
+                                              r.all_ids())),
+                })
+                found, value = cache.get(key)
+                if found:
+                    return [Finding.from_dict(d) for d in value]
+            col = Collector(_sources=out._sources)
+            for rule in rules:
+                rule.check_module(module, col)
+            if cache is not None and key is not None:
+                cache.put(key, [f.to_dict() for f in col.findings])
+            return col.findings
+
+        if workers > 1 and len(modules) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for findings in pool.map(analyze, modules):
+                    out.findings.extend(findings)
+        else:
+            for module in modules:
+                out.findings.extend(analyze(module))
         for module in modules:
-            for rule in self.rules:
+            for rule in project:
                 if rule.applies_to(module.relpath):
                     rule.check_module(module, out)
         for rule in self.rules:
             rule.finalize(out)
         report = self._classify(out, files_checked=len(files))
         report.rules_run = list(self.rules)
+        if cache is not None and stats_before is not None:
+            report.cache_hits = cache.stats.hits - stats_before["hits"]
+            report.cache_misses = (cache.stats.misses -
+                                   stats_before["misses"])
         return report
 
     # -- classification ------------------------------------------------------

@@ -37,6 +37,9 @@ class Finding:
     ``snippet`` is the stripped source line -- the stable identity used
     for baseline matching.  ``justification`` is filled in when the
     finding is suppressed inline or matched against a baseline entry.
+    ``trace`` carries dimension provenance for the UNIT3xx rules: how
+    each operand got its inferred dimension, one human-readable step
+    per line.
     """
 
     rule: str
@@ -46,6 +49,7 @@ class Finding:
     message: str
     snippet: str = ""
     justification: str = ""
+    trace: list[str] = field(default_factory=list)
 
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.rule, self.message)
@@ -59,7 +63,20 @@ class Finding:
                "message": self.message, "snippet": self.snippet}
         if self.justification:
             out["justification"] = self.justification
+        if self.trace:
+            out["trace"] = list(self.trace)
         return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (used by the incremental cache)."""
+        return cls(rule=data["rule"],
+                   severity=Severity(data["severity"]),
+                   path=data["path"], line=data["line"],
+                   message=data["message"],
+                   snippet=data.get("snippet", ""),
+                   justification=data.get("justification", ""),
+                   trace=list(data.get("trace", ())))
 
     def render(self) -> str:
         return (f"{self.path}:{self.line}: [{self.severity.value}] "

@@ -94,11 +94,11 @@ def _sarif_result(finding: Finding, rule_index: dict[str, int],
 def render_sarif(report: CheckReport) -> str:
     """A valid SARIF 2.1.0 document covering the whole run."""
     rules = [{
-        "id": rule.id,
-        "name": rule.name,
-        "shortDescription": {"text": rule.description},
-        "defaultConfiguration": {"level": rule.severity.value},
-    } for rule in report.rules_run]
+        "id": desc["id"],
+        "name": desc["name"],
+        "shortDescription": {"text": desc["description"]},
+        "defaultConfiguration": {"level": desc["severity"].value},
+    } for rule in report.rules_run for desc in rule.descriptors()]
     rule_index = {r["id"]: i for i, r in enumerate(rules)}
     results: list[dict[str, Any]] = []
     for finding in report.active:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from .base import Collector, ModuleInfo, Rule
+from .base import Collector, ModuleInfo, ProjectContext, Rule
 from .concurrency import UnlockedModuleStateRule
 from .contracts import (
     FomDeclaredRule,
@@ -10,6 +10,12 @@ from .contracts import (
     UnitArithmeticRule,
     VariantOrderRule,
 )
+from .crosslayer import (
+    CliFlagDocumentedRule,
+    RuleRegistrationRule,
+    TelemetryEventTypeRule,
+)
+from .dataflow import DimensionalDataflowRule
 from .determinism import UnseededRngRule, WallClockRule
 
 #: rule classes in id order; ``default_rules()`` instantiates fresh ones
@@ -21,6 +27,10 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     ParamResolutionRule,  # CON103
     UnitArithmeticRule,   # CON104
     UnlockedModuleStateRule,  # LCK201
+    DimensionalDataflowRule,  # UNIT301..UNIT305
+    TelemetryEventTypeRule,   # XLY401
+    CliFlagDocumentedRule,    # XLY402
+    RuleRegistrationRule,     # XLY403
 )
 
 
@@ -30,8 +40,12 @@ def default_rules() -> list[Rule]:
 
 
 def rule_ids() -> list[str]:
-    return [cls.id for cls in RULE_CLASSES]
+    out: list[str] = []
+    for cls in RULE_CLASSES:
+        out.append(cls.id)
+        out.extend(cls.ids)
+    return out
 
 
-__all__ = ["Collector", "ModuleInfo", "Rule", "RULE_CLASSES",
-           "default_rules", "rule_ids"]
+__all__ = ["Collector", "ModuleInfo", "ProjectContext", "Rule",
+           "RULE_CLASSES", "default_rules", "rule_ids"]

@@ -13,9 +13,12 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dims import DimRegistry
 
 
 @dataclass
@@ -32,6 +35,24 @@ class ModuleInfo:
 
 
 @dataclass
+class ProjectContext:
+    """The whole-project view handed to :meth:`Rule.prepare`.
+
+    Built once per run, after parsing and before any rule executes:
+    the dimension-annotation registry aggregated over every module,
+    plus the roots rules need to reach sibling artifacts (README for
+    XLY402, ...).  ``rel_base`` is the directory findings' paths are
+    relative to -- the repository root in real runs, the fixture root
+    in tests.
+    """
+
+    root: Path
+    rel_base: Path
+    registry: "DimRegistry"
+    modules: list[ModuleInfo] = field(default_factory=list)
+
+
+@dataclass
 class Collector:
     """Finding sink handed to rules; snippets come from module sources."""
 
@@ -43,14 +64,16 @@ class Collector:
 
     def add(self, rule: "Rule", relpath: str, line: int,
             message: str, *, severity: Severity | None = None,
-            snippet: str | None = None) -> None:
+            snippet: str | None = None, rule_id: str | None = None,
+            trace: list[str] | None = None) -> None:
         if snippet is None:
             lines = self._sources.get(relpath, ())
             snippet = (lines[line - 1].strip()
                        if 0 < line <= len(lines) else "")
         self.findings.append(Finding(
-            rule=rule.id, severity=severity or rule.severity,
-            path=relpath, line=line, message=message, snippet=snippet))
+            rule=rule_id or rule.id, severity=severity or rule.severity,
+            path=relpath, line=line, message=message, snippet=snippet,
+            trace=list(trace or ())))
 
 
 class Rule:
@@ -66,9 +89,36 @@ class Rule:
     name: str = ""
     severity: Severity = Severity.WARNING
     description: str = ""
+    #: further ids a multi-id rule emits besides :attr:`id` (e.g. the
+    #: dataflow rule owns UNIT301..UNIT305)
+    ids: tuple[str, ...] = ()
+    #: "local" rules look at one module at a time and emit nothing from
+    #: finalize -- their per-module findings are safe to cache and to
+    #: compute from worker threads.  "project" rules accumulate
+    #: cross-module state and always run.
+    scope: str = "local"
+    #: ids left enabled after ``--rules``/``--disable`` filtering; None
+    #: means all.  Set by the engine; multi-id rules consult
+    #: :meth:`emits` before reporting under a given id.
+    enabled_ids: frozenset[str] | None = None
+
+    def all_ids(self) -> tuple[str, ...]:
+        return (self.id, *self.ids) if self.ids else (self.id,)
+
+    def emits(self, rule_id: str) -> bool:
+        return self.enabled_ids is None or rule_id in self.enabled_ids
+
+    def descriptors(self) -> list[dict]:
+        """SARIF rule descriptors; multi-id rules return one per id."""
+        return [{"id": self.id, "name": self.name,
+                 "description": self.description,
+                 "severity": self.severity}]
 
     def applies_to(self, relpath: str) -> bool:
         return True
+
+    def prepare(self, ctx: ProjectContext) -> None:
+        """Receive the whole-project view before any module runs."""
 
     def check_module(self, module: ModuleInfo, out: Collector) -> None:
         raise NotImplementedError

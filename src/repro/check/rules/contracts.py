@@ -53,6 +53,7 @@ class FomDeclaredRule(Rule):
     id = "CON101"
     name = "fom-declared"
     severity = Severity.ERROR
+    scope = "project"     # accumulates the cross-module class table
     description = ("Every benchmark implementation (a class with a "
                    "non-empty NAME) must declare a class-level "
                    "FigureOfMerit and use a registered Table II name; "

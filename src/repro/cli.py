@@ -263,7 +263,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
         if args.disable else ()
     analyzer = chk.Analyzer(baseline=chk.load_baseline(baseline_path),
                             only=only, disable=disable)
-    report = analyzer.run(package_root, rel_base=repo_root)
+    cache = DiskCache(Path(args.cache_dir)) if args.cache_dir else None
+    report = analyzer.run(package_root, rel_base=repo_root,
+                          workers=args.workers, cache=cache)
+    if cache is not None:
+        # stderr: stdout must stay byte-identical between cold and
+        # warm runs for the CI determinism comparison
+        print(f"check cache: {report.cache_hits} hit(s), "
+              f"{report.cache_misses} miss(es)", file=sys.stderr)
     if not args.no_runtime and not only and not disable:
         extra = analyzer.classify(chk.runtime_contract_findings(), {})
         report.active += extra.active
@@ -514,6 +521,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sanitize", action="store_true",
                    help="additionally run the suite under the "
                         "lock-order watcher")
+    p.add_argument("--workers", type=_workers, default=1,
+                   help="analyze modules in parallel (findings are "
+                        "identical for any count)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="incremental analysis: reuse per-module "
+                        "findings from DIR when source, rule set and "
+                        "annotations are unchanged")
     p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("chaos",

@@ -12,7 +12,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..units import register_dims
 from .hardware import NodeSpec, SystemSpec
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules.
+#: Power/energy (W, J) are outside the dimension vocabulary -- only the
+#: time/throughput inputs are declared, which is what the TCO pipeline
+#: feeds in from FOM time metrics.
+DIMS = register_dims(__name__, {
+    "node_power.utilization": "1",
+    "job_energy.seconds": "s",
+    "job_energy_kwh.seconds": "s",
+    "flops_per_joule.achieved_flops": "FLOP/s",
+})
 
 
 @dataclass(frozen=True)

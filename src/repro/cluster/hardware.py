@@ -17,7 +17,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from ..units import EXA, GIB, GIGA, TERA, PETA
+from ..units import EXA, GIB, GIGA, TERA, PETA, register_dims
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules
+DIMS = register_dims(__name__, {
+    "DeviceSpec.peak_flops": "FLOP/s",
+    "DeviceSpec.mem_capacity": "B",
+    "DeviceSpec.mem_bandwidth": "B/s",
+    "compute_seconds.flops": "FLOP",
+    "compute_seconds.bytes_moved": "B",
+    "compute_seconds.efficiency": "1",
+    "compute_seconds.return": "s",
+    "NodeSpec.host_mem": "B",
+    "NodeSpec.nic_bandwidth": "B/s",
+    "NodeSpec.intra_node_bandwidth": "B/s",
+    "NodeSpec.intra_node_latency": "s",
+    "NodeSpec.inter_node_latency": "s",
+    "SystemSpec.cell_uplink_taper": "1",
+    "SystemSpec.large_scale_congestion": "1",
+    "device_mem_total.return": "B",
+    "nodes_for_peak.target_flops": "FLOP/s",
+    "preparation_subpartition.target_flops": "FLOP/s",
+    "jupiter_booster_model.mem_per_device": "B",
+    "jupiter_booster_model.target_flops": "FLOP/s",
+})
 
 
 @dataclass(frozen=True)

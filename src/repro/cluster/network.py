@@ -18,8 +18,30 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..units import register_dims
 from .hardware import SystemSpec, juwels_booster
 from .topology import DragonflyPlus, LinkClass, Topology
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules;
+#: with these, the dataflow pass proves p2p_time's alpha-beta identity
+#: s + B / (B/s) = s end to end
+DIMS = register_dims(__name__, {
+    "link_bandwidth.return": "B/s",
+    "latency.return": "s",
+    "p2p_time.nbytes": "B",
+    "p2p_time.return": "s",
+    "allreduce_time.nbytes": "B",
+    "allreduce_time.return": "s",
+    "bcast_time.nbytes": "B",
+    "bcast_time.return": "s",
+    "allgather_time.nbytes_per_rank": "B",
+    "allgather_time.return": "s",
+    "alltoall_time.nbytes_per_pair": "B",
+    "alltoall_time.return": "s",
+    "barrier_time.return": "s",
+    "reduce_scatter_time.nbytes": "B",
+    "reduce_scatter_time.return": "s",
+})
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..units import GIGA, KIB, MIB
+from ..units import GIGA, KIB, MIB, register_dims
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules;
+#: the analyzer proves transfer_time reduces to seconds
+#: (B / (B/s) + count * s) and bandwidth to B/s
+DIMS = register_dims(__name__, {
+    "StorageSpec.backend_bandwidth_read": "B/s",
+    "StorageSpec.backend_bandwidth_write": "B/s",
+    "StorageSpec.per_node_bandwidth": "B/s",
+    "StorageSpec.iop_overhead": "s",
+    "StorageSpec.fs_block_size": "B",
+    "StorageSpec.lock_penalty": "s",
+    "StorageSpec.saturation_clients": "1",
+    "_aggregate_bw.nclients": "1",
+    "_aggregate_bw.return": "B/s",
+    "transfer_time.nbytes_total": "B",
+    "transfer_time.nclients": "1",
+    "transfer_time.transfer_size": "B",
+    "transfer_time.return": "s",
+    "bandwidth.nbytes_total": "B",
+    "bandwidth.nclients": "1",
+    "bandwidth.transfer_size": "B",
+    "bandwidth.return": "B/s",
+})
 
 
 @dataclass(frozen=True)

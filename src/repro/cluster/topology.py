@@ -18,7 +18,19 @@ from enum import Enum
 
 import networkx as nx
 
+from ..units import register_dims
 from .hardware import SystemSpec
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules;
+#: the count-like spec fields are declared dimensionless so bandwidth
+#: aggregates (NIC rate x NICs x nodes) stay provably B/s
+DIMS = register_dims(__name__, {
+    "bisection_bandwidth.return": "B/s",
+    "NodeSpec.devices_per_node": "1",
+    "NodeSpec.nics_per_node": "1",
+    "SystemSpec.nodes_per_cell": "1",
+    "SystemSpec.large_scale_threshold_nodes": "1",
+})
 
 
 class LinkClass(Enum):

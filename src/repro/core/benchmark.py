@@ -16,10 +16,18 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..cluster.hardware import SystemSpec, juwels_booster, juwels_cluster
+from ..units import register_dims
 from ..vmpi.machine import Machine
 from ..vmpi.trace import SpmdResult
 from .fom import FigureOfMerit
 from .variants import MemoryVariant
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules;
+#: the normalised FOM is the one field every benchmark must express in
+#: seconds -- UNIT304 checks each construction site against this
+DIMS = register_dims(__name__, {
+    "BenchmarkResult.fom_seconds": "s",
+})
 
 
 class Category(enum.Enum):

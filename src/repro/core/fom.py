@@ -16,6 +16,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from ..units import register_dims
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules;
+#: UNIT305 polices the pipeline's central promise -- everything that
+#: claims to be a time metric really reduces to seconds
+DIMS = register_dims(__name__, {
+    "time_metric.return": "s",
+    "from_time.seconds": "s",
+    "ReferenceResult.time_metric": "s",
+    "improvement.committed_seconds": "s",
+    "improvement.return": "1",
+})
+
 
 class FomKind(Enum):
     """How the raw measurement maps onto seconds."""

@@ -15,7 +15,17 @@ from dataclasses import dataclass, field
 
 from ..cluster.energy import EnergyModel
 from ..cluster.hardware import SystemSpec
+from ..units import register_dims
 from .fom import ReferenceResult
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules;
+#: commitments carry normalised time metrics (seconds), the blended
+#: workload rate is 1/s -- the units the TCO formula hinges on
+DIMS = register_dims(__name__, {
+    "Commitment.time_metric": "s",
+    "commit.time_metric": "s",
+    "workload_rate.return": "1/s",
+})
 
 
 @dataclass(frozen=True)

@@ -16,10 +16,18 @@ import scipy.sparse.linalg as spla
 from ..core.benchmark import BenchmarkResult
 from ..core.fom import FigureOfMerit
 from ..core.variants import MemoryVariant
+from ..units import register_dims
 from ..vmpi import Phantom
 from ..vmpi.decomposition import CartGrid, halo_exchange, phantom_faces
 from ..vmpi.machine import Machine
 from .base import SyntheticBenchmark
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules;
+#: ITERATIONS is a count, so ``elapsed * (ITERATIONS / measured)``
+#: extrapolations stay provably seconds
+DIMS = register_dims(__name__, {
+    "HpcgBenchmark.ITERATIONS": "1",
+})
 
 
 def build_27pt(n: int) -> sp.csr_matrix:

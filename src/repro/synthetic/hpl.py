@@ -18,10 +18,19 @@ import numpy as np
 from ..core.benchmark import BenchmarkResult
 from ..core.fom import FigureOfMerit, FomKind
 from ..core.variants import MemoryVariant
-from ..units import GIGA
+from ..units import GIGA, register_dims
 from ..vmpi import Phantom
 from ..vmpi.machine import Machine
 from .base import SyntheticBenchmark
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules;
+#: hpl_flops is the official operation count, so downstream
+#: ``hpl_flops(n) / elapsed`` rates check out as FLOP/s
+DIMS = register_dims(__name__, {
+    "hpl_flops.return": "FLOP",
+    "result.flops_rate": "FLOP/s",
+    "result.hpl_efficiency": "1",
+})
 
 
 def blocked_lu(a: np.ndarray, nb: int = 32) -> tuple[np.ndarray, np.ndarray]:

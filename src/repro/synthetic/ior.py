@@ -25,12 +25,21 @@ from ..cluster.storage import (
 from ..core.benchmark import BenchmarkResult
 from ..core.fom import FigureOfMerit, FomKind
 from ..core.variants import MemoryVariant
-from ..units import GIB
+from ..units import GIB, register_dims
 from ..vmpi.machine import Machine
 from .base import SyntheticBenchmark
 
 #: the Hard variant's lower bound on the node count (Table II footnote)
 HARD_MIN_NODES = 64
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules
+#: (the storage model itself is annotated in cluster/storage.py)
+DIMS = register_dims(__name__, {
+    "ior_functional_run.ops_per_rank": "1",
+    "result.write_bandwidth": "B/s",
+    "result.read_bandwidth": "B/s",
+    "result.transfer_size": "B",
+})
 
 
 def ior_functional_run(nranks: int, variant: str,

@@ -15,13 +15,25 @@ import numpy as np
 from ..core.benchmark import BenchmarkResult
 from ..core.fom import FigureOfMerit, FomKind
 from ..core.variants import MemoryVariant
-from ..units import GIB, MIB
+from ..units import GIB, MIB, register_dims
 from ..vmpi import Phantom
 from ..vmpi.machine import Machine
 from .base import SyntheticBenchmark
 
 MESSAGE_BYTES = 16 * MIB
 ROUNDS = 4
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules;
+#: with these the analyzer proves the whole bandwidth extraction chain
+#: (volume / elapsed, the bisection cap, per-pair split) is B/s
+DIMS = register_dims(__name__, {
+    "bisection_program.message_bytes": "B",
+    "bisection_program.rounds": "1",
+    "result.aggregate_bandwidth": "B/s",
+    "result.per_pair_bandwidth": "B/s",
+    "result.uncapped_bandwidth": "B/s",
+    "result.analytic_bisection": "B/s",
+})
 
 
 def bisection_program(comm, message_bytes: float, rounds: int):

@@ -13,13 +13,19 @@ import numpy as np
 from ..core.benchmark import BenchmarkResult
 from ..core.fom import FigureOfMerit, FomKind
 from ..core.variants import MemoryVariant
-from ..units import GIB, MIB
+from ..units import GIB, MIB, register_dims
 from ..vmpi import Machine, Phantom
 from .base import SyntheticBenchmark
 
 #: the classic sweep (powers of two, 8 B .. 16 MiB)
 MESSAGE_SIZES = tuple(8 << (2 * i) for i in range(12))
 PINGPONGS = 4
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules
+DIMS = register_dims(__name__, {
+    "pingpong_program.repeats": "1",
+    "result.latency_seconds": "s",
+})
 
 
 def pingpong_program(comm, sizes: tuple[int, ...], repeats: int,

@@ -17,11 +17,19 @@ import numpy as np
 from ..core.benchmark import BenchmarkResult
 from ..core.fom import FigureOfMerit, FomKind
 from ..core.variants import MemoryVariant
+from ..units import register_dims
 from ..vmpi.machine import Machine
 from .base import SyntheticBenchmark
 
 #: bytes moved per element: (reads + writes) * 8
 KERNEL_BYTES = {"copy": 16, "scale": 16, "add": 24, "triad": 24}
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules
+DIMS = register_dims(__name__, {
+    "StreamResult.triad": "B/s",
+    "gpu_stream_model.efficiency": "1",
+    "_time_once.return": "s",
+})
 
 
 @dataclass

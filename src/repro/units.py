@@ -71,28 +71,120 @@ def fmt_seconds(seconds: float) -> str:
     return f"{seconds / 3600.0:.3g} h"
 
 
+_SI_PARSE = {
+    "k": KILO, "m": MEGA, "g": GIGA, "t": TERA, "p": PETA, "e": EXA,
+    "": 1.0,
+}
+_BIN_PARSE = {
+    "ki": KIB, "mi": MIB, "gi": GIB, "ti": TIB, "pi": PIB, "": 1.0,
+}
+
+
+def _split_number(text: str) -> tuple[float, str]:
+    """Split ``'25 G'`` / ``'1.2e3k'`` into (number, suffix text).
+
+    ``e``/``E`` only continue the number when followed by an exponent
+    digit or sign -- otherwise they start the suffix, so the exa
+    prefix parses (``'1 EFLOP/s'``) instead of being mistaken for
+    scientific notation.
+    """
+    s = text.strip()
+    num_end = len(s)
+    for i, ch in enumerate(s):
+        if ch.isdigit() or ch in ".+-":
+            continue
+        if ch in "eE" and i + 1 < len(s) and \
+                (s[i + 1].isdigit() or s[i + 1] in "+-"):
+            continue
+        if ch.isalpha():
+            num_end = i
+            break
+    if num_end == 0:
+        raise ValueError(f"no number in {text!r}")
+    return float(s[:num_end]), s[num_end:].strip()
+
+
+def parse_si(text: str, unit: str = "") -> float:
+    """Inverse of :func:`fmt_si`: ``parse_si('25 GB/s', 'B/s') == 25e9``.
+
+    The trailing ``unit`` (if given) must match exactly; what remains is
+    a single optional SI prefix letter, matched case-insensitively.
+    """
+    num, suffix = _split_number(text)
+    if unit:
+        if not suffix.endswith(unit):
+            raise ValueError(f"expected unit {unit!r} in {text!r}")
+        suffix = suffix[: len(suffix) - len(unit)].strip()
+    prefix = suffix.lower()
+    if prefix not in _SI_PARSE:
+        raise ValueError(f"unknown SI prefix {suffix!r} in {text!r}")
+    return num * _SI_PARSE[prefix]
+
+
+def parse_bin(text: str) -> float:
+    """Inverse of :func:`fmt_bytes`: ``parse_bin('64 TiB') == 64 * TIB``.
+
+    Only binary prefixes (and bare ``B``) are accepted; use
+    :func:`parse_bytes` for mixed decimal/binary input.
+    """
+    num, suffix = _split_number(text)
+    prefix = suffix.lower()
+    if prefix.endswith("b"):
+        prefix = prefix[:-1]
+    if prefix not in _BIN_PARSE:
+        raise ValueError(f"unknown binary prefix {suffix!r} in {text!r}")
+    return num * _BIN_PARSE[prefix]
+
+
+# --- dimension annotations -------------------------------------------------
+
+#: module -> {annotation key -> dimension string}; see :func:`register_dims`
+_DIM_REGISTRY: dict[str, dict[str, str]] = {}
+
+
+def register_dims(module: str, dims: dict[str, str]) -> dict[str, str]:
+    """Declare physical dimensions for a module's names.
+
+    Modules opt into dimensional analysis with::
+
+        DIMS = register_dims(__name__, {
+            "p2p_time.nbytes": "B",
+            "p2p_time.return": "s",
+            "DeviceSpec.peak_flops": "FLOP/s",
+        })
+
+    Keys are ``func.param`` / ``func.return`` / ``Class.attr``; values
+    come from the dimension vocabulary (``s``, ``B``, ``FLOP``,
+    ``B/s``, ``FLOP/s``, ``1/s``, ``1``).  The static analyzer
+    (``repro.check.dataflow``) reads the dict literal straight from the
+    AST -- this runtime registry exists so the annotations are also
+    introspectable (``units.registered_dims()``) and typo-checked by
+    the UNIT rules rather than silently ignored.
+
+    Returns ``dims`` unchanged so the idiom above stays one line.
+    """
+    _DIM_REGISTRY[module] = dict(dims)
+    return dims
+
+
+def registered_dims() -> dict[str, dict[str, str]]:
+    """A copy of every module's registered dimension annotations."""
+    return {mod: dict(d) for mod, d in _DIM_REGISTRY.items()}
+
+
 def parse_bytes(text: str) -> float:
     """Parse ``'16 MiB'`` / ``'4KB'`` / ``'512'`` into a byte count.
 
     Accepts both binary (``KiB``/``MiB``/...) and decimal (``KB``/``MB``/...)
     suffixes, case-insensitively, with or without a space.
     """
-    s = text.strip()
     suffixes = {
         "kib": KIB, "mib": MIB, "gib": GIB, "tib": TIB, "pib": PIB,
         "kb": KILO, "mb": MEGA, "gb": GIGA, "tb": TERA, "pb": PETA,
         "b": 1.0, "": 1.0,
     }
-    num_end = len(s)
-    for i, ch in enumerate(s):
-        if not (ch.isdigit() or ch in ".+-eE"):
-            # Guard against scientific notation like 1e6 -- only stop at a
-            # letter that cannot continue a float literal.
-            if ch.isalpha() and not (ch in "eE" and i + 1 < len(s) and (s[i + 1].isdigit() or s[i + 1] in "+-")):
-                num_end = i
-                break
-    num = float(s[:num_end])
-    suffix = s[num_end:].strip().lower()
+    num, raw_suffix = _split_number(text)
+    suffix = raw_suffix.lower()
     if suffix not in suffixes:
-        raise ValueError(f"unknown byte suffix {suffix!r} in {text!r}")
+        raise ValueError(f"unknown byte suffix {raw_suffix!r} in {text!r}")
     return num * suffixes[suffix]

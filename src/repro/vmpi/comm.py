@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+from ..units import register_dims
 from .ops import (
     Collective,
     Compute,
@@ -36,6 +37,16 @@ from .ops import (
     Wait,
     Waitall,
 )
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules;
+#: every rank program that charges compute/elapse time goes through
+#: these two signatures, so they police all application cost models
+DIMS = register_dims(__name__, {
+    "compute.flops": "FLOP",
+    "compute.bytes_moved": "B",
+    "compute.efficiency": "1",
+    "elapse.seconds": "s",
+})
 
 
 class Comm:

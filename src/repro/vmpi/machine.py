@@ -24,6 +24,18 @@ from ..cluster.hardware import (
     juwels_cluster,
 )
 from ..cluster.network import NetworkModel
+from ..units import register_dims
+
+#: dimension annotations consumed by ``repro.check``'s UNIT3xx rules
+#: (compute_seconds.* is shared with cluster.hardware, same dims)
+DIMS = register_dims(__name__, {
+    "p2p_seconds.nbytes": "B",
+    "p2p_seconds.return": "s",
+    "compute_seconds.flops": "FLOP",
+    "compute_seconds.bytes_moved": "B",
+    "compute_seconds.efficiency": "1",
+    "compute_seconds.return": "s",
+})
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,48 @@
+"""Known-bad fixture: dimensional-analysis violations (UNIT3xx)."""
+
+from repro.units import GIB, GIGA, fmt_si
+
+DIMS = {
+    "p2p_time.nbytes": "B",
+    "p2p_time.bw": "B/s",
+    "p2p_time.return": "s",
+    "DeviceSpec.peak_flops": "FLOP/s",
+}
+
+mixed_scale = GIB * GIGA
+
+
+def p2p_time(nbytes, bw, latency):
+    return latency + nbytes / bw
+
+
+def add_time_to_bytes(elapsed, nbytes):
+    return elapsed + nbytes
+
+
+def rate_product(bandwidth, peak_flops):
+    return bandwidth * peak_flops
+
+
+def misdirected_call(elapsed, bandwidth):
+    return p2p_time(elapsed, bandwidth, 0.0)
+
+
+def mislabelled_format(elapsed):
+    return fmt_si(elapsed, "FLOP/s")
+
+
+def total_seconds(nbytes, bandwidth):
+    return nbytes * bandwidth
+
+
+def transfer_seconds(nbytes, bandwidth):
+    return nbytes / bandwidth if bandwidth else 0.0
+
+
+def warmup_seconds():
+    return 0.0
+
+
+def device_flop_budget(spec, elapsed):
+    return spec.peak_flops * elapsed

@@ -126,6 +126,33 @@ class TestDistributedFft:
         res = QuantumEspressoBenchmark().run(nodes=8)
         assert res.details["fft_comm_seconds"] > 0
 
+    def test_qe_subspace_gemm_charges_complex128_bytes(self):
+        """Regression: the subspace GEMM operand block is bands x
+        points_local *complex128 elements*, so its bytes_moved must
+        carry the 16 B/element factor like every other charge in the
+        program (the dimensional-analysis pass caught the bare
+        element count)."""
+        from repro.apps.qe.benchmark import qe_timing_program
+        from repro.vmpi.comm import Comm
+        from repro.vmpi.ops import Compute
+
+        comm = Comm(comm_id=0, rank=0, members=(0, 1, 2, 3))
+        mesh, bands = (12, 12, 12), 32
+        gen = qe_timing_program(comm, mesh, bands, 1)
+        ops = []
+        try:
+            op = gen.send(None)
+            while True:
+                ops.append(op)
+                op = gen.send(None)
+        except StopIteration:
+            pass
+        points_local = (12 * 12 * 12) / comm.size
+        subspace = [o for o in ops if isinstance(o, Compute) and
+                    o.label == "subspace"]
+        assert len(subspace) == 1
+        assert subspace[0].bytes_moved == bands * points_local * 16.0
+
 
 class TestMultigrid:
     def test_restriction_prolongation_shapes(self):

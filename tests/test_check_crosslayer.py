@@ -1,0 +1,144 @@
+"""Behavioural tests of the XLY4xx cross-layer consistency rules.
+
+Each test materialises a miniature project tree (schema + emitter,
+cli + README, rules + registry) so the whole-project judgement in
+``finalize`` is exercised, including the silence-without-counterpart
+contract.
+"""
+
+from repro.check import Analyzer
+
+
+def run_tree(tmp_path, files, only):
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return Analyzer(only=[only]).run(tmp_path, rel_base=tmp_path)
+
+
+# -- XLY401: telemetry event types -------------------------------------------
+
+SCHEMA = ('_REQUIRED = {"span": ("name",), "metric": ("value",)}\n')
+
+
+def test_undeclared_event_type_flagged(tmp_path):
+    report = run_tree(tmp_path, {
+        "telemetry/schema.py": SCHEMA,
+        "apps/emitter.py": (
+            "def go(sink):\n"
+            '    sink.emit({"type": "bogus", "name": "x"})\n'
+            '    sink.emit({"type": "span", "name": "ok"})\n'),
+    }, only="XLY401")
+    (finding,) = report.active
+    assert finding.rule == "XLY401"
+    assert finding.path == "apps/emitter.py" and finding.line == 2
+    assert "'bogus'" in finding.message and "span" in finding.message
+
+
+def test_event_builder_return_dicts_checked(tmp_path):
+    report = run_tree(tmp_path, {
+        "telemetry/schema.py": SCHEMA,
+        "apps/builder.py": (
+            "def make_event():\n"
+            '    return {"type": "unheard_of", "value": 1}\n'),
+    }, only="XLY401")
+    assert [f.line for f in report.active] == [2]
+
+
+def test_no_schema_module_means_silence(tmp_path):
+    # fixture trees without a schema make no claim about event types
+    report = run_tree(tmp_path, {
+        "apps/emitter.py": (
+            "def go(sink):\n"
+            '    sink.emit({"type": "anything"})\n'),
+    }, only="XLY401")
+    assert not report.active
+
+
+# -- XLY402: CLI flags documented --------------------------------------------
+
+CLI = (
+    "def build(parser):\n"
+    '    parser.add_argument("--workers", type=int)\n'
+    '    parser.add_argument("--cache-dir")\n'
+    '    parser.add_argument("--cache")\n'
+    '    parser.add_argument("positional")\n')
+
+
+def test_undocumented_flag_flagged(tmp_path):
+    (tmp_path / "README.md").write_text(
+        "Run with `--workers 4 --cache-dir /tmp/c`.\n")
+    report = run_tree(tmp_path, {"cli.py": CLI}, only="XLY402")
+    (finding,) = report.active
+    assert finding.rule == "XLY402"
+    # --cache-dir in the README must NOT count as documenting --cache
+    assert "--cache " in finding.message or "--cache is" in \
+        finding.message
+    assert finding.line == 4
+
+
+def test_all_flags_documented_is_clean(tmp_path):
+    (tmp_path / "README.md").write_text(
+        "`--workers`, `--cache-dir` and `--cache` are documented.\n")
+    report = run_tree(tmp_path, {"cli.py": CLI}, only="XLY402")
+    assert not report.active
+
+
+def test_no_readme_means_silence(tmp_path):
+    report = run_tree(tmp_path, {"cli.py": CLI}, only="XLY402")
+    assert not report.active
+
+
+# -- XLY403: rule registration -----------------------------------------------
+
+RULES_MODULE = (
+    "class DupA:\n"
+    '    id = "ZZZ901"\n'
+    "\n"
+    "class DupB:\n"
+    '    id = "ZZZ901"\n'
+    "\n"
+    "class Orphan:\n"
+    '    id = "ZZZ902"\n'
+    "\n"
+    "class Fine:\n"
+    '    id = "ZZZ903"\n'
+    '    ids = ("ZZZ904",)\n')
+
+REGISTRY = (
+    "from .extra import DupA, DupB, Fine\n"
+    "RULE_CLASSES = (DupA, DupB, DupB, Fine)\n")
+
+
+def test_duplicate_ids_orphans_and_double_registration(tmp_path):
+    report = run_tree(tmp_path, {
+        "check/rules/extra.py": RULES_MODULE,
+        "check/rules/__init__.py": REGISTRY,
+    }, only="XLY403")
+    messages = sorted(f.message for f in report.active)
+    assert len(messages) == 4
+    dup = [m for m in messages if "ZZZ901" in m]
+    assert len(dup) == 2 and all("2 classes" in m for m in dup)
+    assert any("Orphan is not registered" in m for m in messages)
+    assert any("DupB is registered 2 times" in m for m in messages)
+    # Fine: unique ids, registered exactly once
+    assert not any("Fine" in m for m in messages)
+
+
+def test_no_registry_module_means_silence(tmp_path):
+    report = run_tree(tmp_path, {
+        "check/rules/extra.py": RULES_MODULE,
+    }, only="XLY403")
+    assert not report.active
+
+
+# -- the shipped rule set itself ---------------------------------------------
+
+def test_default_rules_have_unique_ids_and_descriptors():
+    from repro.check.rules import default_rules
+    rules = default_rules()
+    ids = [i for r in rules for i in r.all_ids()]
+    assert len(ids) == len(set(ids))
+    desc_ids = [d["id"] for r in rules for d in r.descriptors()]
+    assert sorted(desc_ids) == sorted(ids)

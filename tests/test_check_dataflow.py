@@ -1,0 +1,222 @@
+"""Behavioural tests of the UNIT3xx dataflow pass on small programs.
+
+Each test writes a miniature module into a tmp tree and runs the
+analyzer restricted to the dimensional rules, so the assertions are
+about the *flow semantics* (binding, weak literals, yields) rather
+than fixture line numbers.
+"""
+
+import pytest
+
+from repro.check import Analyzer
+
+UNIT_RULES = ["UNIT301", "UNIT302", "UNIT303", "UNIT304", "UNIT305"]
+
+
+def run_source(tmp_path, source):
+    tree = tmp_path / "apps"
+    tree.mkdir(exist_ok=True)
+    (tree / "m.py").write_text(source)
+    return Analyzer(only=UNIT_RULES).run(tmp_path, rel_base=tmp_path)
+
+
+def rules_of(report):
+    return sorted(f.rule for f in report.active)
+
+
+# -- UNIT301: mixed addition -------------------------------------------------
+
+def test_adding_time_to_bytes_flagged(tmp_path):
+    report = run_source(tmp_path, (
+        "def f(elapsed, nbytes):\n"
+        "    return elapsed + nbytes\n"))
+    assert rules_of(report) == ["UNIT301"]
+
+
+def test_literal_operand_is_polymorphic(tmp_path):
+    # 0.0 may initialise any accumulator: no finding
+    report = run_source(tmp_path, (
+        "def f(elapsed):\n"
+        "    total = 0.0\n"
+        "    total = total + elapsed\n"
+        "    return total\n"))
+    assert not report.active
+
+
+def test_augmented_assignment_checked(tmp_path):
+    report = run_source(tmp_path, (
+        "def f(elapsed, nbytes):\n"
+        "    elapsed += nbytes\n"
+        "    return elapsed\n"))
+    assert rules_of(report) == ["UNIT301"]
+
+
+# -- UNIT302: rate * rate ----------------------------------------------------
+
+def test_rate_times_rate_flagged(tmp_path):
+    report = run_source(tmp_path, (
+        "def f(bandwidth, peak_flops):\n"
+        "    return bandwidth * peak_flops\n"))
+    assert rules_of(report) == ["UNIT302"]
+
+
+def test_rate_times_time_is_fine(tmp_path):
+    report = run_source(tmp_path, (
+        "def f(bandwidth, elapsed):\n"
+        "    return bandwidth * elapsed\n"))
+    assert not report.active
+
+
+# -- UNIT303: prefix-family mixing -------------------------------------------
+
+def test_si_times_binary_flagged(tmp_path):
+    report = run_source(tmp_path, (
+        "from repro.units import GIB, GIGA\n"
+        "x = GIB * GIGA\n"))
+    assert rules_of(report) == ["UNIT303"]
+
+
+def test_division_is_the_conversion_idiom(tmp_path):
+    report = run_source(tmp_path, (
+        "from repro.units import GIB, GIGA\n"
+        "def f(nbytes):\n"
+        "    return nbytes * GIB / GIGA\n"))
+    assert not report.active
+
+
+# -- UNIT304: annotated arguments and fmt_si ---------------------------------
+
+def test_wrong_dimension_to_annotated_keyword(tmp_path):
+    report = run_source(tmp_path, (
+        'DIMS = {"transfer.nbytes": "B"}\n'
+        "def transfer(nbytes):\n"
+        "    return nbytes\n"
+        "def f(elapsed):\n"
+        "    return transfer(nbytes=elapsed)\n"))
+    assert rules_of(report) == ["UNIT304"]
+
+
+def test_fmt_si_unit_string_is_an_assertion(tmp_path):
+    report = run_source(tmp_path, (
+        "from repro.units import fmt_si\n"
+        "def f(elapsed):\n"
+        "    return fmt_si(elapsed, 'B/s')\n"))
+    assert rules_of(report) == ["UNIT304"]
+
+
+def test_fmt_si_freeform_label_makes_no_claim(tmp_path):
+    # 'ranks' is not in the dimension vocabulary: no assertion made
+    report = run_source(tmp_path, (
+        "from repro.units import fmt_si\n"
+        "def f(elapsed):\n"
+        "    return fmt_si(elapsed, 'ranks')\n"))
+    assert not report.active
+
+
+# -- UNIT305: the time-metric contract ---------------------------------------
+
+def test_annotated_return_must_be_seconds(tmp_path):
+    report = run_source(tmp_path, (
+        'DIMS = {"fom.return": "s"}\n'
+        "def fom(nbytes, bandwidth):\n"
+        "    return nbytes * bandwidth\n"))
+    assert rules_of(report) == ["UNIT305"]
+
+
+def test_correct_reduction_to_seconds_is_clean(tmp_path):
+    report = run_source(tmp_path, (
+        'DIMS = {"fom.return": "s"}\n'
+        "def fom(nbytes, bandwidth, latency):\n"
+        "    return latency + nbytes / bandwidth\n"))
+    assert not report.active
+
+
+def test_non_time_annotated_return_reports_unit304(tmp_path):
+    report = run_source(tmp_path, (
+        'DIMS = {"volume.return": "B"}\n'
+        "def volume(elapsed):\n"
+        "    return elapsed\n"))
+    assert rules_of(report) == ["UNIT304"]
+
+
+# -- binding semantics -------------------------------------------------------
+
+def test_weak_value_adopts_name_dimension(tmp_path):
+    # MESSAGE_BYTES = 16 * MIB is bytes by declaration; feeding it to
+    # a bandwidth-annotated parameter must therefore be a finding
+    report = run_source(tmp_path, (
+        "from repro.units import MIB\n"
+        'DIMS = {"rate.bw": "B/s"}\n'
+        "MESSAGE_BYTES = 16 * MIB\n"
+        "def rate(bw):\n"
+        "    return bw\n"
+        "def f():\n"
+        "    return rate(bw=MESSAGE_BYTES)\n"))
+    assert rules_of(report) == ["UNIT304"]
+
+
+def test_proven_value_keeps_dimension_over_name(tmp_path):
+    # a *known* non-weak value does not silently become what the name
+    # claims: the contradiction surfaces downstream
+    report = run_source(tmp_path, (
+        "from repro.units import fmt_si\n"
+        "def f(elapsed):\n"
+        "    nbytes = elapsed\n"
+        "    return fmt_si(nbytes, 'B')\n"))
+    assert rules_of(report) == ["UNIT304"]
+    assert "dimension is s" in report.active[0].message
+
+
+def test_conditional_literal_arm_is_polymorphic(tmp_path):
+    report = run_source(tmp_path, (
+        "def f(nbytes, bandwidth):\n"
+        "    seconds = nbytes / bandwidth if bandwidth else 0.0\n"
+        "    return seconds\n"))
+    assert not report.active
+
+
+def test_yielded_charges_are_checked(tmp_path):
+    # SPMD rank programs charge costs via `yield comm.compute(...)`;
+    # the yielded call's arguments must still be dimension-checked
+    report = run_source(tmp_path, (
+        'DIMS = {"compute.bytes_moved": "B"}\n'
+        "def compute(bytes_moved):\n"
+        "    return bytes_moved\n"
+        "def program(elapsed):\n"
+        "    yield compute(bytes_moved=elapsed)\n"))
+    assert rules_of(report) == ["UNIT304"]
+
+
+# -- finding metadata --------------------------------------------------------
+
+def test_findings_carry_inference_traces(tmp_path):
+    report = run_source(tmp_path, (
+        "def f(elapsed, nbytes):\n"
+        "    return elapsed + nbytes\n"))
+    (finding,) = report.active
+    assert finding.trace
+    assert any("elapsed" in step for step in finding.trace)
+    assert any("nbytes" in step for step in finding.trace)
+
+
+def test_severities(tmp_path):
+    from repro.check import Severity
+    report = run_source(tmp_path, (
+        "from repro.units import GIB, GIGA\n"
+        "x = GIB * GIGA\n"
+        "def f(elapsed, nbytes):\n"
+        "    return elapsed + nbytes\n"))
+    by_rule = {f.rule: f.severity for f in report.active}
+    assert by_rule == {"UNIT303": Severity.WARNING,
+                       "UNIT301": Severity.ERROR}
+
+
+def test_analyzer_own_package_exempt(tmp_path):
+    # the check package talks *about* dimensions; a path under check/
+    # is never dimension-analyzed
+    tree = tmp_path / "check"
+    tree.mkdir()
+    (tree / "m.py").write_text(
+        "def f(elapsed, nbytes):\n    return elapsed + nbytes\n")
+    report = Analyzer(only=UNIT_RULES).run(tmp_path, rel_base=tmp_path)
+    assert not report.active

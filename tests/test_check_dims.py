@@ -1,0 +1,177 @@
+"""Unit tests for the dimension algebra behind the UNIT3xx rules."""
+
+import ast
+
+import pytest
+
+from repro.check.dims import (
+    BANDWIDTH,
+    BYTES,
+    FLOP,
+    FLOPS,
+    ONE,
+    PER_SECOND,
+    TIME,
+    Dim,
+    DimRegistry,
+    build_registry,
+    dim_of_name,
+    dim_of_return,
+    module_annotations,
+    module_signatures,
+    parse_dim,
+    units_constant,
+)
+
+
+class TestDimAlgebra:
+    def test_multiply_divide_compose_exponents(self):
+        assert BYTES / TIME == BANDWIDTH
+        assert BANDWIDTH * TIME == BYTES
+        assert FLOP / TIME == FLOPS
+        assert ONE / TIME == PER_SECOND
+        assert BYTES / BYTES == ONE
+
+    def test_pow(self):
+        assert TIME.pow(2) == Dim((2, 0, 0))
+        assert BANDWIDTH.pow(0) == ONE
+
+    def test_predicates(self):
+        assert ONE.is_dimensionless
+        assert not BYTES.is_dimensionless
+        for rate in (BANDWIDTH, FLOPS, PER_SECOND):
+            assert rate.is_rate
+        assert not TIME.is_rate and not BYTES.is_rate
+
+    def test_str_forms(self):
+        assert str(ONE) == "1"
+        assert str(TIME) == "s"
+        assert str(BANDWIDTH) == "B/s"
+        assert str(PER_SECOND) == "1/s"
+        assert str(BYTES * BYTES) == "B^2"
+
+
+class TestParseDim:
+    @pytest.mark.parametrize("text,expected", [
+        ("1", ONE), ("s", TIME), ("B", BYTES), ("FLOP", FLOP),
+        ("B/s", BANDWIDTH), ("FLOP/s", FLOPS), ("1/s", PER_SECOND),
+        ("FLOP*s", FLOP * TIME), ("B/s/s", BYTES / TIME / TIME),
+        (" B/s ", BANDWIDTH),
+    ])
+    def test_vocabulary(self, text, expected):
+        assert parse_dim(text) == expected
+
+    @pytest.mark.parametrize("text", ["W", "GB", "bytes", "s/"])
+    def test_typos_fail_loudly(self, text):
+        with pytest.raises(ValueError, match="dimension token"):
+            parse_dim(text)
+
+
+class TestNameHeuristics:
+    def test_exact_names(self):
+        assert dim_of_name("nbytes") == BYTES
+        assert dim_of_name("bandwidth") == BANDWIDTH
+        assert dim_of_name("flops") == FLOP
+        assert dim_of_name("nranks") == ONE
+
+    def test_suffixes(self):
+        assert dim_of_name("fft_comm_seconds") == TIME
+        assert dim_of_name("message_bytes") == BYTES
+        assert dim_of_name("link_bw") == BANDWIDTH
+        assert dim_of_name("peak_flops") == FLOPS
+
+    def test_case_insensitive_for_module_constants(self):
+        assert dim_of_name("MESSAGE_BYTES") == BYTES
+        assert dim_of_name("TIMEOUT") == TIME
+
+    def test_bare_suffix_is_not_a_match(self):
+        # "_bytes" alone has no stem: not a dimensional name
+        assert dim_of_name("_bytes") is None
+        assert dim_of_name("payload") is None
+
+    def test_return_heuristics(self):
+        assert dim_of_return("transfer_time") == TIME
+        assert dim_of_return("hpl_bytes") == BYTES
+        assert dim_of_return("aggregate_bandwidth") == BANDWIDTH
+        assert dim_of_return("run") is None
+
+
+class TestUnitsConstants:
+    def test_prefix_families(self):
+        assert units_constant("repro.units.GIGA") == (ONE,
+                                                      frozenset({"si"}))
+        assert units_constant("units.MIB") == (ONE, frozenset({"bin"}))
+
+    def test_byte_constants_are_real_bytes(self):
+        dim, families = units_constant("repro.units.BYTES_PER_COMPLEX128")
+        assert dim == BYTES and families == frozenset()
+
+    def test_non_units_names_ignored(self):
+        assert units_constant("numpy.GIGA") is None
+        assert units_constant("GIGA") is None
+        assert units_constant(None) is None
+
+
+class TestDimRegistry:
+    def test_exact_beats_tail(self):
+        reg = DimRegistry()
+        reg.add_annotations("m", {"p2p_time.nbytes": "B",
+                                  "other.nbytes": "B"})
+        assert reg.lookup("p2p_time.nbytes") == BYTES
+
+    def test_unambiguous_tail_resolves(self):
+        reg = DimRegistry()
+        reg.add_annotations("m", {"DeviceSpec.peak_flops": "FLOP/s"})
+        assert reg.lookup("peak_flops") == FLOPS
+
+    def test_ambiguous_tail_disabled(self):
+        reg = DimRegistry()
+        reg.add_annotations("m", {"a.rate": "B/s", "b.rate": "FLOP/s"})
+        assert reg.lookup("rate") is None
+        assert reg.lookup("a.rate") == BANDWIDTH
+
+    def test_conflicting_signatures_disabled(self):
+        reg = DimRegistry()
+        reg.add_signature("f", ("x", "y"))
+        reg.add_signature("f", ("x",))
+        assert reg.params_of("f") is None
+        reg.add_signature("g", ("a",))
+        assert reg.params_of("g") == ("a",)
+
+    def test_content_is_canonical(self):
+        reg1, reg2 = DimRegistry(), DimRegistry()
+        reg1.add_annotations("m", {"a.x": "s", "a.y": "B"})
+        reg2.add_annotations("m", {"a.y": "B", "a.x": "s"})
+        assert reg1.content() == reg2.content()
+
+
+class TestAstExtraction:
+    def test_register_dims_call_form(self):
+        tree = ast.parse(
+            'DIMS = register_dims(__name__, {"f.x": "s", "f.return": '
+            '"B/s"})\n')
+        assert module_annotations(tree) == {"f.x": "s",
+                                            "f.return": "B/s"}
+
+    def test_plain_dict_form_and_dynamic_entries_skipped(self):
+        tree = ast.parse('DIMS = {"f.x": "s", key(): "B", "g.y": dyn}\n')
+        assert module_annotations(tree) == {"f.x": "s"}
+
+    def test_no_dims_is_empty(self):
+        assert module_annotations(ast.parse("X = 1\n")) == {}
+
+    def test_signatures_drop_self_and_key_methods(self):
+        tree = ast.parse(
+            "def free(a, b):\n    pass\n\n"
+            "class C:\n    def meth(self, nbytes):\n        pass\n")
+        sigs = module_signatures(tree)
+        assert sigs["free"] == ("a", "b")
+        assert sigs["C.meth"] == ("nbytes",)
+
+    def test_build_registry_merges_modules(self):
+        t1 = ast.parse('DIMS = {"f.x": "s"}\n\ndef f(x):\n    pass\n')
+        t2 = ast.parse('DIMS = {"g.y": "B"}\n')
+        reg = build_registry([("m1", t1), ("m2", t2)])
+        assert reg.lookup("f.x") == TIME
+        assert reg.lookup("g.y") == BYTES
+        assert reg.params_of("f") == ("x",)

@@ -1,4 +1,5 @@
-"""Engine tests: baseline round-trip, classification, repo cleanliness."""
+"""Engine tests: baseline round-trip, classification, incremental
+cache, parallel parity, repo cleanliness."""
 
 import json
 from pathlib import Path
@@ -10,6 +11,7 @@ from repro.check import (
     runtime_contract_findings,
     save_baseline,
 )
+from repro.exec import DiskCache
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = Path(__file__).parent / "fixtures" / "check"
@@ -109,6 +111,111 @@ def test_suppression_only_covers_named_rule(tmp_path):
     # the DET002 on the next line is NOT covered by the DET001 allow
     assert [f.rule for f in report.active] == ["DET002"]
     assert [f.rule for f in report.suppressed] == ["DET001"]
+
+
+def test_suppression_on_multiline_statement(tmp_path):
+    """The allow comment rides the statement's *first* line even when
+    the expression spans several physical lines."""
+    tree = tmp_path / "apps"
+    tree.mkdir()
+    (tree / "model.py").write_text(
+        "import time\n\n\ndef run():\n"
+        "    # repro: allow(DET001): demo timing\n"
+        "    return (time.time()\n"
+        "            + 0.0)\n")
+    report = Analyzer().run(tmp_path, rel_base=tmp_path)
+    assert not report.active
+    assert [f.justification for f in report.suppressed] == \
+        ["demo timing"]
+
+
+def test_baseline_entry_for_deleted_file_reported_stale(tmp_path):
+    """An entry whose file no longer exists matches nothing and must
+    show up as prunable, not crash or hide."""
+    from repro.check import BaselineEntry
+    tree = tmp_path / "apps"
+    tree.mkdir()
+    (tree / "kept.py").write_text("X = 1\n")
+    baseline = Baseline(entries=[BaselineEntry(
+        rule="DET001", path="apps/deleted_long_ago.py",
+        snippet="return time.time()", justification="was fine")])
+    report = Analyzer(baseline=baseline).run(tmp_path, rel_base=tmp_path)
+    assert not report.active
+    assert [e.path for e in report.unused_baseline] == \
+        ["apps/deleted_long_ago.py"]
+
+
+# -- incremental + parallel runs ---------------------------------------------
+
+def _dirty_tree(tmp_path):
+    tree = tmp_path / "apps"
+    tree.mkdir()
+    (tree / "a.py").write_text(
+        "import time\n\n\ndef run():\n    return time.time()\n")
+    (tree / "b.py").write_text(
+        "def f(elapsed, nbytes):\n    return elapsed + nbytes\n")
+    (tree / "c.py").write_text("X = 1\n")
+    return tree
+
+
+def test_cold_and_warm_cache_runs_are_identical(tmp_path):
+    from repro.check import render_json
+    tree_root = tmp_path / "proj"
+    tree_root.mkdir()
+    _dirty_tree(tree_root)
+    cache = DiskCache(tmp_path / "cache")
+
+    cold = Analyzer().run(tree_root, rel_base=tree_root, cache=cache)
+    assert cold.cache_misses > 0 and cold.cache_hits == 0
+
+    warm = Analyzer().run(tree_root, rel_base=tree_root, cache=cache)
+    assert warm.cache_hits == cold.cache_misses
+    assert warm.cache_misses == 0
+
+    # the reports must agree byte-for-byte, counters excluded
+    assert render_json(cold, strict=True) == render_json(warm,
+                                                         strict=True)
+    assert cold.counts() == warm.counts()
+    assert "cache" not in json.dumps(cold.counts())
+
+
+def test_editing_one_file_invalidates_only_it(tmp_path):
+    tree_root = tmp_path / "proj"
+    tree_root.mkdir()
+    tree = _dirty_tree(tree_root)
+    cache = DiskCache(tmp_path / "cache")
+    Analyzer().run(tree_root, rel_base=tree_root, cache=cache)
+
+    (tree / "c.py").write_text("X = 2\n")
+    third = Analyzer().run(tree_root, rel_base=tree_root, cache=cache)
+    assert third.cache_misses == 1
+    assert third.cache_hits == 2
+
+
+def test_changing_enabled_rules_changes_cache_keys(tmp_path):
+    tree_root = tmp_path / "proj"
+    tree_root.mkdir()
+    _dirty_tree(tree_root)
+    cache = DiskCache(tmp_path / "cache")
+    Analyzer().run(tree_root, rel_base=tree_root, cache=cache)
+    narrowed = Analyzer(only=["DET001"]).run(tree_root,
+                                             rel_base=tree_root,
+                                             cache=cache)
+    assert narrowed.cache_hits == 0 and narrowed.cache_misses > 0
+    assert [f.rule for f in narrowed.active] == ["DET001"]
+
+
+def test_parallel_workers_match_serial(tmp_path):
+    from repro.check import render_json
+    tree_root = tmp_path / "proj"
+    tree_root.mkdir()
+    _dirty_tree(tree_root)
+    serial = Analyzer().run(tree_root, rel_base=tree_root, workers=1)
+    parallel = Analyzer().run(tree_root, rel_base=tree_root, workers=4)
+    assert render_json(serial, strict=True) == \
+        render_json(parallel, strict=True)
+    assert [f.rule for f in serial.active] == \
+        [f.rule for f in parallel.active]
 
 
 # -- the repository itself must be clean -------------------------------------

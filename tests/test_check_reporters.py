@@ -73,6 +73,38 @@ def test_human_report_verdict_line(report):
     assert render_human(clean).splitlines()[-1].startswith("check ok:")
 
 
+def test_sarif_with_zero_findings_is_still_valid(tmp_path):
+    """A clean tree renders an empty-but-well-formed document: the
+    rules metadata stays, results is [], and upload-sarif accepts it."""
+    tree = tmp_path / "apps"
+    tree.mkdir()
+    (tree / "clean.py").write_text("X = 1\n")
+    clean = Analyzer().run(tmp_path, rel_base=tmp_path)
+    doc = json.loads(render_sarif(clean))
+    (run,) = doc["runs"]
+    assert run["results"] == []
+    assert run["tool"]["driver"]["rules"]
+    assert render_human(clean).startswith("check ok:")
+    json_doc = json.loads(render_json(clean))
+    assert json_doc["summary"]["failed"] is False
+    assert json_doc["findings"] == []
+
+
+def test_json_findings_carry_dimension_traces(report):
+    """UNIT3xx findings export their inference trace so a reviewer can
+    replay the derivation from the JSON artifact alone."""
+    doc = json.loads(render_json(report))
+    unit = [f for f in doc["findings"] if f["rule"].startswith("UNIT3")]
+    assert unit
+    for finding in unit:
+        assert finding["trace"]
+        assert all(isinstance(step, str) and step
+                   for step in finding["trace"])
+    # non-dimensional rules carry no trace key at all
+    det = [f for f in doc["findings"] if f["rule"].startswith("DET")]
+    assert det and all("trace" not in f for f in det)
+
+
 # -- golden snapshots --------------------------------------------------------
 
 def test_sarif_matches_golden(report):

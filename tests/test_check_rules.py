@@ -117,6 +117,49 @@ def test_unit_prefix_arithmetic(report):
     assert 5 not in lines and 6 not in lines
 
 
+# -- dimensional dataflow ----------------------------------------------------
+
+def test_dimensional_findings_pinned(report):
+    path = "apps/units_dataflow.py"
+    got = {(f.rule, f.line) for f in report.active if f.path == path}
+    assert got == {
+        ("UNIT303", 12),   # GIB * GIGA prefix-family mixing
+        ("UNIT301", 20),   # seconds + bytes
+        ("UNIT302", 24),   # B/s * FLOP/s
+        ("UNIT304", 28),   # time passed to an annotated bytes param
+        ("UNIT304", 32),   # fmt_si unit-string mismatch
+        ("UNIT305", 36),   # *_seconds returning B^2/s
+    }
+
+
+def test_dimensional_severities(report):
+    findings = [f for f in report.active
+                if f.path == "apps/units_dataflow.py"]
+    for f in findings:
+        expected = Severity.WARNING if f.rule == "UNIT303" \
+            else Severity.ERROR
+        assert f.severity is expected, (f.rule, f.severity)
+
+
+def test_dimensional_negative_controls(report):
+    # correct reduction (16), literal-arm IfExp (40), weak return
+    # (44) and rate*time (47) must all stay clean
+    lines = {f.line for f in report.active
+             if f.path == "apps/units_dataflow.py"}
+    assert not lines & {16, 40, 44, 47}
+
+
+def test_dimensional_findings_explain_themselves(report):
+    findings = [f for f in report.active
+                if f.path == "apps/units_dataflow.py"]
+    assert findings
+    for f in findings:
+        assert f.trace, f.rule
+    annotated = [f for f in findings if f.line == 28]
+    assert any("DIMS annotation" in step
+               for step in annotated[0].trace)
+
+
 # -- concurrency -------------------------------------------------------------
 
 def test_unlocked_module_state(report):

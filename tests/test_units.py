@@ -59,6 +59,105 @@ class TestParseBytes:
         assert units.parse_bytes(text) == pytest.approx(mib * units.MIB)
 
 
+class TestParseSi:
+    @pytest.mark.parametrize("text,unit,expected", [
+        ("25 GB/s", "B/s", 25e9),
+        ("1 EFLOP/s", "FLOP/s", 1e18),
+        ("9.7 TFLOP/s", "FLOP/s", 9.7e12),
+        ("1.5k", "", 1500.0),
+        ("498 s", "s", 498.0),
+        ("-3 Gs", "s", -3e9),
+    ])
+    def test_examples(self, text, unit, expected):
+        assert units.parse_si(text, unit) == pytest.approx(expected)
+
+    def test_wrong_unit_rejected(self):
+        with pytest.raises(ValueError, match="expected unit"):
+            units.parse_si("25 GB/s", "FLOP/s")
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(ValueError, match="unknown SI prefix"):
+            units.parse_si("3 QFLOP/s", "FLOP/s")
+
+    def test_binary_prefix_is_not_si(self):
+        # family separation: KiB never parses as an SI quantity
+        with pytest.raises(ValueError):
+            units.parse_si("1 KiB", "B")
+
+    @given(st.floats(min_value=1.0, max_value=1e21,
+                     allow_nan=False, allow_infinity=False))
+    def test_fmt_parse_roundtrip(self, value):
+        text = units.fmt_si(value, "FLOP/s")
+        back = units.parse_si(text, "FLOP/s")
+        # fmt_si keeps 3 significant digits, so the round trip is
+        # exact up to that rendering precision
+        assert back == pytest.approx(value, rel=5e-3)
+
+    @given(st.sampled_from([units.KILO, units.MEGA, units.GIGA,
+                            units.TERA, units.PETA, units.EXA]),
+           st.floats(min_value=1.0, max_value=999.0,
+                     allow_nan=False, allow_infinity=False))
+    def test_parse_fmt_consistent_across_prefixes(self, scale, mantissa):
+        assert units.parse_si(units.fmt_si(mantissa * scale, "B/s"),
+                              "B/s") == \
+            pytest.approx(mantissa * scale, rel=5e-3)
+
+
+class TestParseBin:
+    @pytest.mark.parametrize("text,expected", [
+        ("64 TiB", 64 * units.TIB),
+        ("16 MiB", 16 * units.MIB),
+        ("1.5GiB", 1.5 * units.GIB),
+        ("512 B", 512.0),
+        ("512", 512.0),
+    ])
+    def test_examples(self, text, expected):
+        assert units.parse_bin(text) == pytest.approx(expected)
+
+    def test_decimal_prefix_is_not_binary(self):
+        # parse_bytes accepts '4 GB'; the strict binary inverse must not
+        with pytest.raises(ValueError, match="unknown binary prefix"):
+            units.parse_bin("4 GB")
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            units.parse_bin("3 XB")
+
+    @given(st.floats(min_value=1.0, max_value=1023.0,
+                     allow_nan=False, allow_infinity=False),
+           st.sampled_from([1.0, units.KIB, units.MIB, units.GIB,
+                            units.TIB, units.PIB]))
+    def test_fmt_bytes_roundtrip(self, mantissa, scale):
+        value = mantissa * scale
+        assert units.parse_bin(units.fmt_bytes(value)) == \
+            pytest.approx(value, rel=5e-3)
+
+    @given(st.floats(min_value=0.001, max_value=1e6,
+                     allow_nan=False, allow_infinity=False))
+    def test_parse_bin_agrees_with_parse_bytes_on_binary(self, mib):
+        text = f"{mib} MiB"
+        assert units.parse_bin(text) == units.parse_bytes(text)
+
+
+class TestDimAnnotationRegistry:
+    def test_register_and_introspect(self):
+        dims = {"f.x": "s", "f.return": "B/s"}
+        returned = units.register_dims("tests.fake_module", dims)
+        assert returned is dims   # one-line idiom keeps the dict
+        assert units.registered_dims()["tests.fake_module"] == dims
+
+    def test_registered_dims_returns_copies(self):
+        units.register_dims("tests.fake_module2", {"g.y": "B"})
+        snapshot = units.registered_dims()
+        snapshot["tests.fake_module2"]["g.y"] = "tampered"
+        assert units.registered_dims()["tests.fake_module2"]["g.y"] == "B"
+
+    def test_model_modules_register_at_import(self):
+        import repro.cluster.network  # noqa: F401 -- import side effect
+        assert any(mod.endswith("cluster.network")
+                   for mod in units.registered_dims())
+
+
 class TestJuqcsMemoryLaw:
     """The paper's JUQCS sizes must come out of the unit constants."""
 
