@@ -5,6 +5,9 @@ see it) and times the regeneration via pytest-benchmark.  Node sweeps
 are the paper's where tractable; EXPERIMENTS.md records the mapping.
 """
 
+import json
+import pathlib
+
 import pytest
 
 from repro.core import load_suite
@@ -20,3 +23,17 @@ def once(benchmark, fn, *args, **kwargs):
     """Run an expensive regeneration exactly once under the timer."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1)
+
+
+def write_bench_record(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable perf record as BENCH_<name>.json.
+
+    Written at the repo root so CI can pick the records up as
+    artifacts; the payload schema is whatever the emitting bench
+    documents, plus the keys every record carries: ``benchmark``,
+    ``max_ranks`` and per-``mode`` wall-clock entries.
+    """
+    out = pathlib.Path(__file__).resolve().parent.parent / \
+        f"BENCH_{name}.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out

@@ -21,7 +21,7 @@ from ..core.benchmark import Benchmark, BenchmarkResult
 from ..core.registry import get_info
 from ..core.variants import MemoryVariant, VariantSizing
 from ..units import register_dims
-from ..vmpi.engine import Engine
+from ..vmpi.engine import VmpiEngine
 from ..vmpi.machine import Machine
 from ..vmpi.trace import SpmdResult
 
@@ -71,9 +71,17 @@ class AppBenchmark(Benchmark):
         return self.sizing.bytes_per_device(self.variant_or_default(variant))
 
     def run_program(self, machine: Machine, program: Any, *,
-                    args: tuple = (), kwargs: dict | None = None) -> SpmdResult:
-        """Execute an SPMD generator program on a machine."""
-        return Engine(machine).run(program, args=args, kwargs=kwargs)
+                    args: tuple = (), kwargs: dict | None = None,
+                    mode: str | None = None) -> SpmdResult:
+        """Execute an SPMD generator program on a machine.
+
+        ``mode`` picks the engine core ("event" or "step"); ``None``
+        defers to ``REPRO_VMPI_MODE`` / the default (the discrete-event
+        core) -- the two are observationally equivalent, so this only
+        matters for differential testing and benchmarking.
+        """
+        return VmpiEngine(machine, mode=mode).run(program, args=args,
+                                                  kwargs=kwargs)
 
     def result(self, nodes: int, spmd: SpmdResult, *,
                variant: MemoryVariant | None = None,

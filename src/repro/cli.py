@@ -13,7 +13,10 @@ Sub-commands::
     jubench chaos [--seed N]           # deterministic fault-injection smoke
     jubench procurement                # demo TCO evaluation of proposals
 
-Execution commands accept engine options: ``--workers N`` fans
+Execution commands accept engine options: ``--vmpi-mode event|step``
+picks the virtual-MPI engine core (the discrete-event core is the
+default; the step scheduler is the byte-identical reference),
+``--workers N`` fans
 independent workunits out in parallel, ``--cache-dir DIR`` memoises
 results on disk across invocations (``--no-cache`` disables caching),
 and ``--journal [PATH]`` prints the structured run journal afterwards
@@ -30,6 +33,7 @@ dedicated deterministic smoke.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .core import (
@@ -64,6 +68,10 @@ def _workers(text: str) -> int:
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     """The shared execution-engine options of run-style commands."""
     group = parser.add_argument_group("execution engine")
+    group.add_argument("--vmpi-mode", choices=["event", "step"], default=None,
+                       help="virtual-MPI engine core: the discrete-event "
+                            "core (default) or the reference step "
+                            "scheduler; results are byte-identical")
     group.add_argument("--workers", type=_workers, default=1,
                        help="parallel workers for independent workunits")
     group.add_argument("--backend", choices=["serial", "thread", "process"],
@@ -143,6 +151,11 @@ def _make_engine(args: argparse.Namespace) -> ExecutionEngine | None:
 
 def _configured_suite(args: argparse.Namespace):
     """The default suite wired to this invocation's engine (if any)."""
+    mode = getattr(args, "vmpi_mode", None)
+    if mode:
+        # the env var is how the choice reaches Engine construction deep
+        # inside benchmark programs (and any process-pool workers)
+        os.environ["REPRO_VMPI_MODE"] = mode
     suite = load_suite()
     suite.engine = _make_engine(args)
     return suite

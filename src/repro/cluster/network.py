@@ -112,15 +112,28 @@ class NetworkModel:
             return node.inter_node_latency
         return node.inter_node_latency * 2.0
 
+    def p2p_params(self, src_node: int, dst_node: int,
+                   job_nodes: int = 1) -> tuple[float, float]:
+        """``(latency, bandwidth)`` of the path between two nodes.
+
+        The alpha-beta pair behind :meth:`p2p_time`; the event engine
+        caches it per node pair so repeated transfers cost one dict hit
+        instead of a link classification.  Self-paths report infinite
+        bandwidth and zero latency, so ``lat + n / bw`` is exact for
+        every case.
+        """
+        link = self.topology.classify(src_node, dst_node)
+        return self.latency(link), self.link_bandwidth(link, job_nodes)
+
     def p2p_time(self, src_node: int, dst_node: int, nbytes: float,
                  job_nodes: int = 1) -> float:
         """Time for one blocking point-to-point transfer of ``nbytes``."""
         if nbytes < 0:
             raise ValueError("message size must be non-negative")
-        link = self.topology.classify(src_node, dst_node)
         if src_node == dst_node and nbytes == 0:
             return 0.0
-        return self.latency(link) + nbytes / self.link_bandwidth(link, job_nodes)
+        lat, bw = self.p2p_params(src_node, dst_node, job_nodes)
+        return lat + nbytes / bw
 
     # -- collectives ---------------------------------------------------------
 

@@ -11,12 +11,12 @@ network model, so the allocation actually matters downstream).
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
 
+from ..vmpi.heap import EventHeap
 from .hardware import SystemSpec
 
 
@@ -86,7 +86,10 @@ class Scheduler:
         self.now = 0.0
         self._free = set(range(system.nodes))
         self._queue: list[Job] = []
-        self._running: list[tuple[float, int, Job]] = []  # (end, id, job)
+        #: completion events keyed (end_time, job_id) -- job_id is the
+        #: semantic tiebreak, so equal-time completions finish in
+        #: submission order
+        self._running = EventHeap()
         self._ids = itertools.count(1)
         self.history: list[Job] = []
         self._faults = faults
@@ -129,9 +132,7 @@ class Scheduler:
             self._queue.remove(job)
             job.state = JobState.CANCELLED
         elif job.state is JobState.RUNNING:
-            self._running = [(e, i, j) for (e, i, j) in self._running
-                             if j is not job]
-            heapq.heapify(self._running)
+            self._running.remove_if(lambda j: j is job)
             self._free.update(n for n in job.allocated
                               if n not in self._dead)
             job.state = JobState.CANCELLED
@@ -147,7 +148,7 @@ class Scheduler:
         only consumed while there is work (queued or running) they
         could affect.
         """
-        next_end = self._running[0][0] if self._running else None
+        next_end = self._running.peek_time() if self._running else None
         fault = self._events[self._event_pos] \
             if self._event_pos < len(self._events) else None
         if fault is not None and (self._queue or self._running) and \
@@ -158,7 +159,7 @@ class Scheduler:
             return True
         if next_end is None:
             return False
-        end, _, job = heapq.heappop(self._running)
+        end, _, job = self._running.pop_entry()
         self.now = max(self.now, end)
         self._finish(job)
         self._schedule()
@@ -231,9 +232,7 @@ class Scheduler:
                    if node in job.allocated]
         if victims:
             alive = {id(j) for j in victims}
-            self._running = [(e, i, j) for (e, i, j) in self._running
-                             if id(j) not in alive]
-            heapq.heapify(self._running)
+            self._running.remove_if(lambda j: id(j) in alive)
             for job in sorted(victims, key=lambda j: j.job_id):
                 self._requeue(job)
 
@@ -315,7 +314,7 @@ class Scheduler:
             if isinstance(dur, (int, float)) and dur >= 0:
                 duration = min(float(dur) * job.slowdown, job.walltime)
         job.end_time = self.now + duration
-        heapq.heappush(self._running, (job.end_time, job.job_id, job))
+        self._running.push(job.end_time, job, tiebreak=job.job_id)
 
     def _finish(self, job: Job) -> None:
         self._free.update(n for n in job.allocated if n not in self._dead)

@@ -17,18 +17,24 @@ from .decomposition import (
     phantom_faces,
 )
 from .engine import (
+    MODES,
     CollectiveMismatchError,
     DeadlockError,
     Engine,
     RankFailedError,
+    StepEngine,
+    VmpiEngine,
     VmpiError,
+    default_mode,
     run_spmd,
 )
+from .heap import EventHeap
 from .machine import Machine
 from .ops import (
     Collective,
     Compute,
     Elapse,
+    Exchange,
     Irecv,
     Isend,
     Op,
@@ -52,8 +58,11 @@ __all__ = [
     "DeadlockError",
     "Elapse",
     "Engine",
+    "EventHeap",
+    "Exchange",
     "Irecv",
     "Isend",
+    "MODES",
     "Machine",
     "Op",
     "Phantom",
@@ -64,10 +73,13 @@ __all__ = [
     "Send",
     "Sendrecv",
     "SpmdResult",
+    "StepEngine",
+    "VmpiEngine",
     "VmpiError",
     "Wait",
     "Waitall",
     "block_partition",
+    "default_mode",
     "dims_create",
     "ghost_faces",
     "halo_exchange",

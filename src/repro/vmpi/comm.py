@@ -28,8 +28,10 @@ from .ops import (
     Collective,
     Compute,
     Elapse,
+    Exchange,
     Irecv,
     Isend,
+    Phantom,
     Recv,
     Request,
     Send,
@@ -70,6 +72,18 @@ class Comm:
 
     def __repr__(self) -> str:
         return f"Comm(id={self.comm_id}, rank={self.rank}/{self.size})"
+
+    # Structural identity: two communicators are the same if they give
+    # this rank the same local number over the same global members.  The
+    # raw ``comm_id`` is engine-internal (its allocation order depends on
+    # scheduling), so it must not participate in equality.
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Comm):
+            return NotImplemented
+        return self.rank == other.rank and self.members == other.members
+
+    def __hash__(self) -> int:
+        return hash((self.rank, self.members))
 
     # -- local work ---------------------------------------------------------
 
@@ -121,6 +135,26 @@ class Comm:
         return Sendrecv(dest=dest, payload=payload, source=source, tag=tag,
                         comm_id=self.comm_id)
 
+    def exchange(self, sends: Iterable[tuple[int, Any]],
+                 recvs: Iterable[int], tag: int = 0,
+                 label: str = "p2p") -> Exchange:
+        """Fused neighborhood exchange (see :class:`~repro.vmpi.ops.Exchange`).
+
+        ``sends`` yields ``(dest, payload)`` pairs, ``recvs`` the source
+        ranks; the op resumes with the received payloads in ``recvs``
+        order.  Equivalent to posting the isends/irecvs and a waitall,
+        but as one descriptor -- halo loops hoist it out of the stepping
+        loop so the engine can replay a cached exchange plan.
+        """
+        out = tuple((int(d), p) for d, p in sends)
+        srcs = tuple(int(s) for s in recvs)
+        for d, _ in out:
+            self._check_peer(d)
+        for s in srcs:
+            self._check_peer(s)
+        return Exchange(sends=out, recvs=srcs, tag=tag,
+                        comm_id=self.comm_id, label=label)
+
     # -- collectives -----------------------------------------------------------
 
     def allreduce(self, payload: Any, op: str = "sum",
@@ -134,9 +168,19 @@ class Comm:
         return Collective(kind="allgather", payload=payload,
                           comm_id=self.comm_id, label=label)
 
-    def alltoall(self, payloads: Iterable[Any], label: str = "alltoall") -> Collective:
+    def alltoall(self, payloads: Iterable[Any] | Phantom,
+                 label: str = "alltoall") -> Collective:
         """Personalised exchange: ``payloads[j]`` goes to local rank ``j``;
-        resumes with the list received from every rank."""
+        resumes with the list received from every rank.
+
+        Passing a single :class:`Phantom` instead of a sequence means
+        "that many bytes to each peer" -- the uniform form that keeps
+        large-scale timing programs O(P) instead of building size-P
+        tuples per call.
+        """
+        if isinstance(payloads, Phantom):
+            return Collective(kind="alltoall", payload=payloads,
+                              comm_id=self.comm_id, label=label)
         items = tuple(payloads)
         if len(items) != self.size:
             raise ValueError(

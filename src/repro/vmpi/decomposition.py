@@ -166,6 +166,43 @@ class CartGrid:
         return tuple(out)
 
 
+def halo_exchange_op(comm: Comm, cart: CartGrid,
+                     faces: dict[tuple[int, int], Any], tag: int = 100,
+                     label: str = "p2p"):
+    """The fused :class:`~repro.vmpi.ops.Exchange` of one halo sweep.
+
+    Returns ``(op, keys)``: the exchange op and the ``(dim, direction)``
+    key of each received payload, aligned with the op's result order.
+    Both are constants of the decomposition, so stencil codes hoist them
+    out of the time loop (persistent-request style) and yield the same
+    op every step -- the event core then reuses one cached round plan
+    for the whole run.
+
+    Edge pairing relies on every member building its op through this
+    function: sends are emitted in sorted face order, receives in
+    mirrored ``(dim, -direction)`` order, so the k-th send a neighbour
+    makes towards us is exactly our k-th receive from it -- including
+    the doubled edges of periodic dimensions of extent 1 or 2.
+    """
+    sends = []
+    for (dim, direction), payload in sorted(faces.items()):
+        if direction not in (-1, 1):
+            raise ValueError("face direction must be -1 or +1")
+        dest = cart.neighbor(comm.rank, dim, direction)
+        if dest is not None:
+            sends.append((dest, payload))
+    recvs = []
+    keys = []
+    for (dim, direction) in sorted(faces, key=lambda k: (k[0], -k[1])):
+        src = cart.neighbor(comm.rank, dim, direction)
+        if src is not None:
+            # The neighbour in direction d sent its (-d) face towards us.
+            recvs.append(src)
+            keys.append((dim, direction))
+    op = comm.exchange(tuple(sends), tuple(recvs), tag=tag, label=label)
+    return op, tuple(keys)
+
+
 def halo_exchange(comm: Comm, cart: CartGrid, faces: dict[tuple[int, int], Any],
                   tag_base: int = 100):
     """Exchange per-face payloads with Cartesian neighbours (generator).
@@ -174,38 +211,17 @@ def halo_exchange(comm: Comm, cart: CartGrid, faces: dict[tuple[int, int], Any],
     payload shipped to the neighbour in that direction.  Returns received
     payloads keyed the same way: ``received[(dim, d)]`` is what the
     neighbour in direction ``d`` sent towards us, i.e. the ghost data for
-    our ``d``-side boundary.  Non-blocking under the hood, so all faces
-    are in flight simultaneously, exactly like the production stencil
-    codes.  Use as ``recv = yield from halo_exchange(...)``.
+    our ``d``-side boundary.  All faces travel in one fused
+    :class:`~repro.vmpi.ops.Exchange`, exactly like the production
+    stencil codes' neighbourhood collectives.  Use as
+    ``recv = yield from halo_exchange(...)``.  Codes that exchange every
+    step should hoist :func:`halo_exchange_op` instead.
     """
-
-    def face_tag(dim: int, direction: int) -> int:
-        return tag_base + 2 * dim + (0 if direction > 0 else 1)
-
-    reqs = []
-    keys = []
-    for (dim, direction), payload in sorted(faces.items()):
-        if direction not in (-1, 1):
-            raise ValueError("face direction must be -1 or +1")
-        dest = cart.neighbor(comm.rank, dim, direction)
-        if dest is not None:
-            reqs.append((yield comm.isend(dest, payload,
-                                          tag=face_tag(dim, direction))))
-            keys.append(None)
-    for (dim, direction) in sorted(faces):
-        src = cart.neighbor(comm.rank, dim, direction)
-        if src is not None:
-            # The neighbour in direction d sent its (-d) face towards us.
-            reqs.append((yield comm.irecv(src, tag=face_tag(dim, -direction))))
-            keys.append((dim, direction))
-    if not reqs:
+    op, keys = halo_exchange_op(comm, cart, faces, tag=tag_base)
+    if not op.sends and not op.recvs:
         return {}
-    results = yield comm.waitall(reqs)
-    received: dict[tuple[int, int], Any] = {}
-    for key, res in zip(keys, results):
-        if key is not None:
-            received[key] = res
-    return received
+    results = yield op
+    return dict(zip(keys, results))
 
 
 def ghost_faces(field: np.ndarray, width: int = 1) -> dict[tuple[int, int], np.ndarray]:

@@ -168,12 +168,43 @@ class Sendrecv(Op):
 
 
 @dataclass(frozen=True)
+class Exchange(Op):
+    """A fused neighborhood exchange (MPI_Neighbor_alltoallv-style).
+
+    ``sends`` lists ``(dest_local, payload)`` pairs, ``recvs`` lists the
+    local source ranks, both in program order.  The op completes when
+    every listed transfer has a matching counterpart and resumes with
+    the received payloads in ``recvs`` order.
+
+    Exchanges match only against other exchanges: each directed pair
+    ``(src, dst)`` under one ``(comm, tag)`` pairs its k-th exchanged
+    send with the k-th exchanged receive, so matching is independent of
+    scheduling order (like the per-key FIFO queues of plain p2p, but in
+    a separate namespace -- exactly how MPI neighborhood collectives do
+    not match point-to-point traffic).
+
+    Halo patterns yield one ``Exchange`` per step instead of one op per
+    face; timing programs hoist the constant op out of the step loop,
+    which lets the event engine reuse a vectorized per-round plan.
+    """
+
+    sends: tuple[tuple[int, Any], ...]
+    recvs: tuple[int, ...]
+    tag: int = 0
+    comm_id: int = 0
+    label: str = "p2p"
+
+
+@dataclass(frozen=True)
 class Collective(Op):
     """A collective over all ranks of a communicator.
 
     ``kind`` is one of ``allreduce | allgather | alltoall | bcast |
     reduce | gather | scatter | barrier | split``.  ``reduce_op`` applies
-    to (all)reduce.  ``root`` applies to rooted collectives.
+    to (all)reduce.  ``root`` applies to rooted collectives.  An
+    ``alltoall`` payload is either a size-P tuple (personalised data per
+    destination) or a single :class:`Phantom` meaning that many bytes to
+    *each* peer (the uniform form large-scale timing programs use).
     """
 
     kind: str
@@ -207,6 +238,8 @@ class Request:
     done: bool = False
     complete_time: float = 0.0
     result: Any = None
+    #: wire size of ``payload``, cached at post time (sends only)
+    nbytes: float = 0.0
 
     def __hash__(self) -> int:  # identity-hash: each posted request is unique
         return id(self)

@@ -13,6 +13,35 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
+from .ops import Phantom
+
+
+def _canon(value: Any) -> Any:
+    """A JSON-serializable, engine-core-independent form of a payload.
+
+    NumPy arrays and scalars become lists/numbers, phantoms become
+    tagged size records, and communicators are reduced to their
+    structural identity ``(rank, members)`` -- raw ``comm_id`` values
+    depend on allocation order, which the engine cores are free to
+    differ on, so they must not leak into comparisons.
+    """
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, Phantom):
+        return {"__phantom__": value.nbytes}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canon(value[k]) for k in sorted(value)}
+    if hasattr(value, "members") and hasattr(value, "comm_id"):
+        return {"__comm__": {"rank": value.rank,
+                             "members": list(value.members)}}
+    return value
+
 
 @dataclass
 class RankTrace:
@@ -41,6 +70,8 @@ class SpmdResult:
     values: list[Any]
     clocks: list[float]
     traces: list[RankTrace]
+    #: which engine core produced this result ("step" or "event")
+    mode: str = ""
 
     @property
     def nranks(self) -> int:
@@ -88,3 +119,26 @@ class SpmdResult:
             for label, sec in t.comm.items():
                 out[label] += sec
         return dict(out)
+
+    def canonical(self, *, include_mode: bool = False) -> dict[str, Any]:
+        """A plain-data form of the result for structural comparison.
+
+        The differential test harness and the CI bench-smoke job compare
+        step- and event-core runs through this: floats pass through
+        untouched (byte identity is the contract), payloads are
+        canonicalized by :func:`_canon`, and ``mode`` is excluded unless
+        asked for -- it is the one field that legitimately differs.
+        """
+        out: dict[str, Any] = {
+            "values": [_canon(v) for v in self.values],
+            "clocks": list(self.clocks),
+            "traces": [
+                {"compute": {k: t.compute[k] for k in sorted(t.compute)},
+                 "comm": {k: t.comm[k] for k in sorted(t.comm)},
+                 "bytes_sent": t.bytes_sent,
+                 "ops": t.ops}
+                for t in self.traces],
+        }
+        if include_mode:
+            out["mode"] = self.mode
+        return out

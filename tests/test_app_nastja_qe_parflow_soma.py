@@ -143,8 +143,10 @@ class TestDistributedFft:
         try:
             op = gen.send(None)
             while True:
-                ops.append(op)
-                op = gen.send(None)
+                # hoisted batches arrive as tuples of ops
+                ops.extend(op) if isinstance(op, tuple) else ops.append(op)
+                op = gen.send(None if not isinstance(op, tuple)
+                              else [None] * len(op))
         except StopIteration:
             pass
         points_local = (12 * 12 * 12) / comm.size
