@@ -6,11 +6,17 @@ are the paper's where tractable; EXPERIMENTS.md records the mapping.
 """
 
 import json
+import os
 import pathlib
 
 import pytest
 
 from repro.core import load_suite
+from repro.history import HistoryStore, RegressionDetector, record, stamp
+
+#: history database the benches append to (override the location with
+#: JUBENCH_HISTORY; set it to an empty string to disable appending)
+HISTORY_ENV = "JUBENCH_HISTORY"
 
 
 @pytest.fixture(scope="session")
@@ -25,15 +31,63 @@ def once(benchmark, fn, *args, **kwargs):
                               rounds=1, iterations=1)
 
 
+def _bench_history(root: pathlib.Path) -> HistoryStore | None:
+    path = os.environ.get(HISTORY_ENV, str(root / "BENCH_history.jsonl"))
+    return HistoryStore.open(path) if path else None
+
+
+def _append_runs(store: HistoryStore, name: str, payload: dict) -> None:
+    """One run record per per-mode wall-clock entry of the payload.
+
+    Bench wall clocks are volatile provenance (kept in the DB, outside
+    the canonical form); the record's identity comes from the bench
+    name, its shape and the engine-core mode.
+    """
+    shape = payload.get("shape", {})
+    for entry in payload.get("records", []):
+        mode = str(entry.get("mode", ""))
+        store.append(record(
+            f"bench:{name}", params={"shape": shape},
+            vmpi_mode=mode or None,
+            volatile={k: v for k, v in entry.items() if k != "mode"}))
+
+
+def _trajectory(store: HistoryStore, name: str) -> dict:
+    """Last-10-runs trajectory of this bench's series, with verdicts --
+    the per-PR view embedded into every BENCH_*.json record."""
+    detector = RegressionDetector()
+    out: dict[str, list[dict]] = {}
+    for key, records in store.select(f"bench:{name}").items():
+        values = [r.value for r in records if r.value is not None]
+        verdicts = detector.classify(values)
+        points = []
+        for rec, verdict in list(zip(
+                [r for r in records if r.value is not None],
+                verdicts))[-10:]:
+            points.append({"seq": rec.seq, "code": rec.code[:12],
+                           "value": verdict.value,
+                           "status": verdict.status})
+        out[key] = points
+    return out
+
+
 def write_bench_record(name: str, payload: dict) -> pathlib.Path:
     """Persist a machine-readable perf record as BENCH_<name>.json.
 
     Written at the repo root so CI can pick the records up as
     artifacts; the payload schema is whatever the emitting bench
     documents, plus the keys every record carries: ``benchmark``,
-    ``max_ranks`` and per-``mode`` wall-clock entries.
+    ``max_ranks``, per-``mode`` wall-clock entries, the shared
+    ``provenance`` stamp (git commit, history schema version,
+    machine-config hash) and the ``trajectory`` section from the
+    history database (last runs per series, regression flags).
     """
-    out = pathlib.Path(__file__).resolve().parent.parent / \
-        f"BENCH_{name}.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    root = pathlib.Path(__file__).resolve().parent.parent
+    out = root / f"BENCH_{name}.json"
+    stamped = stamp(payload)
+    store = _bench_history(root)
+    if store is not None:
+        _append_runs(store, name, payload)
+        stamped["trajectory"] = _trajectory(store, name)
+    out.write_text(json.dumps(stamped, indent=2, sort_keys=True) + "\n")
     return out

@@ -17,6 +17,7 @@ from dataclasses import replace
 
 from repro.core import Baseline, ContinuousBenchmarking, load_suite
 from repro.cluster.hardware import juwels_booster
+from repro.history import HistoryStore
 from repro.vmpi.machine import Machine
 
 suite = load_suite()
@@ -55,7 +56,11 @@ def runner(name):
         bench.machine = original
 
 
-campaign = ContinuousBenchmarking(baseline, runner, sigma=3.0)
+# every interval's FOMs also land in a provenance-complete history DB
+# (PR 7: repro.history) so regressions are detectable statistically,
+# without a hand-built baseline
+store = HistoryStore()
+campaign = ContinuousBenchmarking(baseline, runner, sigma=3.0, store=store)
 
 # -- 3. maintenance intervals -------------------------------------------------
 
@@ -78,3 +83,13 @@ assert "JUQCS" in flagged, "the comm-bound benchmark must be caught"
 assert "Arbor" not in flagged, "the compute-bound benchmark stays green"
 print("\nthe campaign caught the interconnect regression via the "
       "communication-bound benchmarks only -- as designed.")
+
+# -- 4. the history DB reaches the same verdict statistically ----------------
+
+print(f"\nhistory DB: {len(store)} record(s), "
+      f"{len(store.series_keys())} series")
+detected = {verdict and verdict.status
+            for verdict in campaign.verdicts().values()}
+print("latest per-series detector verdicts:", sorted(filter(None, detected)))
+assert "regression" in detected, \
+    "the stationary-window detector must flag the degraded intervals too"

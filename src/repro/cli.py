@@ -9,6 +9,8 @@ Sub-commands::
     jubench fig2 [--apps A,B,...]      # Base strong-scaling study
     jubench fig3 [--nodes 8,16,...]    # High-Scaling weak-scaling study
     jubench report TRACE.jsonl         # re-render a saved trace offline
+    jubench history DB.jsonl           # inspect the performance history
+    jubench regress DB.jsonl           # statistical regression detection
     jubench check [--format sarif]     # static analysis + sanitizers
     jubench chaos [--seed N]           # deterministic fault-injection smoke
     jubench procurement                # demo TCO evaluation of proposals
@@ -28,6 +30,13 @@ Fault injection: ``--faults PLAN.json`` (or ``--fault-seed N`` to
 generate a plan) runs the command under ``repro.faults`` with retries,
 seeded backoff and a circuit breaker; ``jubench chaos`` is the
 dedicated deterministic smoke.
+
+Performance history: ``--history DB.jsonl`` appends provenance-stamped
+run records (code fingerprint, machine-config hash, FOMs, journal
+digest) to an append-only database; ``jubench history`` renders and
+compacts it, ``jubench regress`` runs the deterministic change-point /
+regression detector over the accumulated trajectories, and ``jubench
+report`` gains a FOM-trajectory section when pointed at a history DB.
 """
 
 from __future__ import annotations
@@ -103,6 +112,11 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                           "trace_event file (Perfetto)")
     obs.add_argument("--metrics", action="store_true",
                      help="print the metrics-registry report at the end")
+    obs.add_argument("--history", default=None, metavar="DB.jsonl",
+                     help="append provenance-stamped run records to this "
+                          "performance-history database (inspect with "
+                          "'jubench history', analyse with "
+                          "'jubench regress')")
 
 
 def _fault_plan(args: argparse.Namespace):
@@ -147,6 +161,32 @@ def _make_engine(args: argparse.Namespace) -> ExecutionEngine | None:
                            cache=cache, retries=retries or 0,
                            tracer=ambient if ambient.enabled else None,
                            faults=faults, backoff=backoff, breaker=breaker)
+
+
+def _history_store(args: argparse.Namespace):
+    """The history DB an invocation appends to (or ``None``)."""
+    path = getattr(args, "history", None)
+    if not path:
+        return None
+    from .history import HistoryStore
+
+    return HistoryStore.open(path)
+
+
+def _history_append(store, suite, benchmark: str,
+                    fom_seconds: float | None, params: dict,
+                    foms: dict | None = None) -> None:
+    """Append one provenance-stamped run record to the history DB."""
+    from .cluster.hardware import juwels_booster
+    from .history import record
+
+    store.append(record(benchmark, fom_seconds, params=params,
+                        foms=foms, system=juwels_booster(),
+                        tracer=current_tracer(), engine=suite.engine))
+
+
+def _history_note(store) -> None:
+    print(f"history: {len(store)} record(s) in {store.path}")
 
 
 def _configured_suite(args: argparse.Namespace):
@@ -198,6 +238,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"  {key}: {value:.6g}")
         elif isinstance(value, (int, str, bool, tuple)):
             print(f"  {key}: {value}")
+    store = _history_store(args)
+    if store is not None:
+        _history_append(store, suite, result.benchmark, result.fom_seconds,
+                        params={"study": "run", "nodes": result.nodes,
+                                "variant": args.variant,
+                                "real": bool(args.real),
+                                "scale": args.scale})
+        _history_note(store)
     return 0 if result.verified in (True, None) else 1
 
 
@@ -219,6 +267,13 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         print(f"  {res.benchmark:<18} {res.nodes:>4} nodes  "
               f"{fmt_seconds(res.fom_seconds)} "
               f"({res.fom_seconds:.3f} s time metric)")
+    store = _history_store(args)
+    if store is not None:
+        for res in results:
+            _history_append(store, suite, res.benchmark, res.fom_seconds,
+                            params={"study": "suite", "nodes": res.nodes,
+                                    "scale": args.scale})
+        _history_note(store)
     return 0
 
 
@@ -230,7 +285,18 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
     if args.apps:
         wanted = {a.strip() for a in args.apps.split(",")}
         apps = tuple(a for a in FIG2_APPS if a[0] in wanted)
-    print(figure2(suite, apps).render())
+    data = figure2(suite, apps)
+    print(data.render())
+    store = _history_store(args)
+    if store is not None:
+        for name, curve in data.curves.items():
+            _history_append(
+                store, suite, name, curve.reference.runtime,
+                params={"study": "fig2",
+                        "ref_nodes": curve.reference.nodes},
+                foms={f"runtime_n{p.nodes}": p.runtime
+                      for p in curve.points})
+        _history_note(store)
     return 0
 
 
@@ -239,7 +305,19 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
     suite = _configured_suite(args)
     nodes = tuple(int(n) for n in args.nodes.split(","))
-    print(figure3(suite, nodes).render())
+    data = figure3(suite, nodes)
+    print(data.render())
+    store = _history_store(args)
+    if store is not None:
+        for name, curve in data.curves.items():
+            pts = sorted(curve.points, key=lambda p: p.nodes)
+            if not pts:
+                continue
+            _history_append(
+                store, suite, name, pts[-1].runtime,
+                params={"study": "fig3", "nodes": list(nodes)},
+                foms={f"eff_n{n}": eff for n, eff in curve.efficiency()})
+        _history_note(store)
     return 0
 
 
@@ -255,10 +333,73 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from .history.report import render_trajectory
+    from .history.store import HistoryStore, is_history_file
     from .telemetry.report import render_report
 
+    if is_history_file(args.trace):
+        # a history DB renders as its FOM-trajectory section directly
+        print(render_trajectory(HistoryStore.open(args.trace),
+                                last=args.last), end="")
+        return 0
     print(render_report(args.trace))
+    if args.history:
+        print()
+        print(render_trajectory(HistoryStore.open(args.history),
+                                last=args.last), end="")
     return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .history import HistoryStore
+    from .history.report import render_trajectory
+
+    store = HistoryStore.open(args.db)
+    if args.compact is not None:
+        before = len(store)
+        store = store.compact(args.compact)
+        print(f"history: compacted {before} -> {len(store)} record(s) "
+              f"(keeping the last {args.compact} per series)")
+    if args.export is not None:
+        doc = store.canonical_export()
+        if args.export == "-":
+            sys.stdout.write(doc)
+        else:
+            Path(args.export).write_text(doc, encoding="utf-8")
+            print(f"history: canonical export -> {args.export}")
+        return 0
+    print(render_trajectory(store, last=args.last,
+                            benchmark=args.benchmark), end="")
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    import json
+
+    from .history import HistoryStore, RegressionDetector
+    from .history.report import render_regressions
+
+    store = HistoryStore.open(args.db)
+    detector = RegressionDetector(window=args.window, sigma=args.sigma,
+                                  slack=args.slack)
+    if args.json:
+        summaries = {}
+        flagged = 0
+        for key, records in sorted(store.select(args.benchmark).items()):
+            values = [r.value for r in records if r.value is not None]
+            summary = detector.summarize(values)
+            summary["benchmark"] = records[-1].benchmark
+            summaries[key] = summary
+            flagged += summary["counts"]["regression"]
+        print(json.dumps(summaries, sort_keys=True, indent=2))
+        return 1 if flagged else 0
+    text, flagged = render_regressions(store, benchmark=args.benchmark,
+                                       detector=detector,
+                                       explain=args.explain)
+    print(text, end="")
+    return 1 if flagged else 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -505,8 +646,51 @@ def build_parser() -> argparse.ArgumentParser:
                             "(journal summary + cost centres, offline)")
     p.add_argument("trace",
                    help="trace file from --trace-out FILE.jsonl or "
-                        "--journal PATH")
+                        "--journal PATH (a history DB renders as its "
+                        "trajectory section)")
+    p.add_argument("--history", default=None, metavar="DB.jsonl",
+                   help="additionally render the FOM-trajectory section "
+                        "from this history database")
+    p.add_argument("--last", type=int, default=10, metavar="N",
+                   help="trajectory points shown per series (default 10)")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("history",
+                       help="inspect the performance-history database "
+                            "(trajectories, canonical export, retention)")
+    p.add_argument("db", help="history database (JSONL, from --history)")
+    p.add_argument("--benchmark", default=None, metavar="NAME",
+                   help="restrict to one benchmark's series")
+    p.add_argument("--last", type=int, default=10, metavar="N",
+                   help="trajectory points shown per series (default 10)")
+    p.add_argument("--export", default=None, metavar="FILE",
+                   help="write the canonical byte-stable JSON export "
+                        "('-' for stdout) instead of rendering")
+    p.add_argument("--compact", type=int, default=None, metavar="N",
+                   help="apply retention first: keep the last N records "
+                        "per series and rewrite the database")
+    p.set_defaults(fn=_cmd_history)
+
+    p = sub.add_parser("regress",
+                       help="deterministic change-point / regression "
+                            "detection over the history database")
+    p.add_argument("db", help="history database (JSONL, from --history)")
+    p.add_argument("--benchmark", default=None, metavar="NAME",
+                   help="restrict to one benchmark's series")
+    p.add_argument("--window", type=int, default=8, metavar="N",
+                   help="stationary-window length for the baseline "
+                        "(default 8)")
+    p.add_argument("--sigma", type=float, default=4.0, metavar="K",
+                   help="robust-sigma multiplier of the alert margin "
+                        "(default 4.0)")
+    p.add_argument("--slack", type=float, default=0.02, metavar="F",
+                   help="minimum relative deviation that alerts "
+                        "(default 0.02)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable verdicts (bit-reproducible)")
+    p.add_argument("--explain", action="store_true",
+                   help="print the full inference trace per point")
+    p.set_defaults(fn=_cmd_regress)
 
     p = sub.add_parser("check",
                        help="static analysis of suite invariants "

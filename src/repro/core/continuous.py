@@ -26,6 +26,10 @@ from typing import Callable
 
 from ..exec.cache import result_key
 from ..exec.engine import ExecutionEngine, WorkItem
+from ..history.detect import RegressionDetector, Verdict
+from ..history.record import record as history_record
+from ..history.report import latest_verdicts
+from ..history.store import HistoryStore
 from ..telemetry.spans import current_tracer
 from .benchmark import BenchmarkResult
 
@@ -108,7 +112,8 @@ class ContinuousBenchmarking:
                  runner: Callable[[str], BenchmarkResult],
                  sigma: float = 3.0, slack: float = 0.02,
                  engine: ExecutionEngine | None = None,
-                 fingerprint: str = ""):
+                 fingerprint: str = "",
+                 store: HistoryStore | None = None):
         if sigma <= 0 or slack < 0:
             raise ValueError("invalid alert thresholds")
         self.baseline = baseline
@@ -120,12 +125,18 @@ class ContinuousBenchmarking:
         #: a maintenance to force re-execution of cached benchmarks
         self.fingerprint = fingerprint
         self.history: list[CampaignReport] = []
+        #: optional performance-history database: every interval's FOMs
+        #: are appended as provenance-stamped run records, so campaigns
+        #: feed the same trajectories ``jubench regress`` analyses
+        self.store = store
 
     # The process engine backend pickles ``fn=self._measure_fom``; the
-    # engine itself (pools, locks) must not cross the boundary.
+    # engine itself (pools, locks) and the history store (file handle,
+    # lock) must not cross the boundary.
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state["engine"] = None
+        state["store"] = None
         return state
 
     def refingerprint(self, fingerprint: str) -> None:
@@ -173,7 +184,27 @@ class ContinuousBenchmarking:
                         benchmark=name, baseline=ref, measured=fom))
             span.set(alerts=len(report.alerts))
         self.history.append(report)
+        if self.store is not None:
+            for name in names:
+                self.store.append(history_record(
+                    name, report.results[name],
+                    params={"campaign": "continuous"},
+                    volatile={"interval": report.interval,
+                              "fingerprint": self.fingerprint}))
         return report
+
+    def verdicts(self, detector: RegressionDetector | None = None
+                 ) -> dict[str, Verdict]:
+        """Newest-point statistical verdict per history-DB series.
+
+        Complements the baseline-band alerts: the baseline compares
+        against the acceptance reference, while the detector judges
+        each new point against the series' own recent stationary
+        window.  Empty when no :attr:`store` is attached.
+        """
+        if self.store is None:
+            return {}
+        return latest_verdicts(self.store, detector=detector)
 
     def drift(self, name: str) -> float:
         """Relative FOM trend of one benchmark across history.

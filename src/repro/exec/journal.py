@@ -154,6 +154,19 @@ class RunJournal:
         with self._lock:
             self._records.clear()
 
+    def digest(self) -> str:
+        """Stable content hash of the canonical journal.
+
+        Because it is taken over :meth:`canonical` (virtual unit
+        timeline), the digest depends only on what ran and how it
+        ended -- the provenance link history records carry, matching
+        across worker counts and replays of the same run.
+        """
+        from .cache import stable_hash  # local: keep module deps one-way
+
+        return stable_hash(
+            [r.to_event() for r in self.canonical().records])[:16]
+
     def stats(self) -> JournalStats:
         """Aggregate counters of everything journalled so far."""
         recs = self.records

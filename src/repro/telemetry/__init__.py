@@ -48,6 +48,7 @@ from .spans import (
     Tracer,
     current_tracer,
     install_tracer,
+    span_rollup,
     traced,
     use_tracer,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "read_events",
     "render_snapshot",
     "set_default_registry",
+    "span_rollup",
     "traced",
     "use_tracer",
     "validate_event",

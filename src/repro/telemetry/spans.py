@@ -257,6 +257,22 @@ class Tracer:
         return [s for s in self.finished() if s.parent_id == span_id]
 
 
+def span_rollup(spans: list[SpanRecord]) -> dict[str, dict[str, float]]:
+    """Aggregate finished spans by name into per-name totals.
+
+    Returns ``name -> {"count": n, "seconds": total}`` -- the rollup
+    the performance-history plane stamps into run records.  Counts are
+    a pure function of what ran (deterministic across worker counts);
+    the summed seconds inherit whatever clock the tracer used.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for span in spans:
+        entry = out.setdefault(span.name, {"count": 0, "seconds": 0.0})
+        entry["count"] += 1
+        entry["seconds"] += span.duration
+    return out
+
+
 class _OpenSpan:
     """Context manager driving one live span on a tracer."""
 
