@@ -17,6 +17,13 @@ the codebase silently assumes:
   proving that quantities keep their physical dimension (seconds,
   bytes, rates) through the cost model, seeded by ``repro.units``
   constants and the ``DIMS = register_dims(...)`` annotation registry;
+* **protocols** (COMM501..COMM506, ``repro.check.protocol`` +
+  ``rules/comm``) -- every vmpi rank program's communication skeleton
+  is lifted from the AST and replayed at small sizes against an
+  abstract model of the engine's matching semantics: rank-divergent
+  or misordered collectives, wait-for deadlocks (differentially
+  validated against the step engine), tag collisions, inconsistent
+  roots, and orphan endpoints;
 * **cross-layer** (XLY401..XLY403) -- telemetry event types exist in
   the schema, CLI flags are documented in the README, rule ids are
   registered exactly once.
@@ -36,8 +43,14 @@ from .findings import (
     load_baseline,
     save_baseline,
 )
+from .protocol import ProtocolFinding, analyze_modules, rank_programs
 from .reporters import render_human, render_json, render_sarif
-from .rules import RULE_CLASSES, default_rules, rule_ids
+from .rules import (
+    RULE_CLASSES,
+    default_rules,
+    expand_rule_prefixes,
+    rule_ids,
+)
 from .sanitizer import (
     LockGraph,
     LockOrderError,
@@ -51,9 +64,10 @@ from .sanitizer import (
 __all__ = [
     "Analyzer", "Baseline", "BaselineEntry", "CheckReport", "Dim",
     "DimRegistry", "Finding", "LockGraph", "LockOrderError",
-    "LockOrderWatcher", "RULE_CLASSES", "Severity", "build_registry",
-    "default_rules", "install", "install_from_env", "installed_graph",
-    "load_baseline", "parse_dim", "render_human", "render_json",
-    "render_sarif", "rule_ids", "runtime_contract_findings",
-    "save_baseline", "uninstall",
+    "LockOrderWatcher", "ProtocolFinding", "RULE_CLASSES", "Severity",
+    "analyze_modules", "build_registry", "default_rules",
+    "expand_rule_prefixes", "install", "install_from_env",
+    "installed_graph", "load_baseline", "parse_dim", "rank_programs",
+    "render_human", "render_json", "render_sarif", "rule_ids",
+    "runtime_contract_findings", "save_baseline", "uninstall",
 ]

@@ -130,6 +130,8 @@ class Analyzer:
             rule.enabled_ids = frozenset(enabled)
             kept.append(rule)
         self.rules = kept
+        self._enabled_ids = frozenset().union(
+            *(r.enabled_ids for r in kept)) if kept else frozenset()
         self.baseline = baseline or Baseline()
 
     # -- running -------------------------------------------------------------
@@ -257,7 +259,11 @@ class Analyzer:
                 report.baselined.append(finding)
                 continue
             report.active.append(finding)
-        report.unused_baseline = self.baseline.unused()
+        # entries of rules that did not run cannot have matched; only
+        # entries the enabled rule set could have covered count as stale
+        report.unused_baseline = [
+            e for e in self.baseline.unused()
+            if e.rule in self._enabled_ids]
         return report
 
     @staticmethod

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from .base import Collector, ModuleInfo, ProjectContext, Rule
+from .comm import CommProtocolRule
 from .concurrency import UnlockedModuleStateRule
 from .contracts import (
     FomDeclaredRule,
@@ -28,6 +29,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     UnitArithmeticRule,   # CON104
     UnlockedModuleStateRule,  # LCK201
     DimensionalDataflowRule,  # UNIT301..UNIT305
+    CommProtocolRule,         # COMM501..COMM506
     TelemetryEventTypeRule,   # XLY401
     CliFlagDocumentedRule,    # XLY402
     RuleRegistrationRule,     # XLY403
@@ -47,5 +49,25 @@ def rule_ids() -> list[str]:
     return out
 
 
+def expand_rule_prefixes(prefixes: list[str]) -> list[str]:
+    """Expand rule-family prefixes (``COMM``, ``UNIT3``) to rule ids.
+
+    Exact ids pass through; a prefix matching nothing is an error so
+    typos fail loudly instead of silently filtering everything out.
+    """
+    known = rule_ids()
+    out: list[str] = []
+    for prefix in prefixes:
+        matched = [rid for rid in known if rid.startswith(prefix)]
+        if not matched:
+            raise ValueError(
+                f"rule prefix {prefix!r} matches no known rule id")
+        for rid in matched:
+            if rid not in out:
+                out.append(rid)
+    return out
+
+
 __all__ = ["Collector", "ModuleInfo", "ProjectContext", "Rule",
-           "RULE_CLASSES", "default_rules", "rule_ids"]
+           "RULE_CLASSES", "default_rules", "expand_rule_prefixes",
+           "rule_ids"]

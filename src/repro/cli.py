@@ -412,9 +412,24 @@ def _cmd_check(args: argparse.Namespace) -> int:
     baseline_path = Path(args.baseline) if args.baseline \
         else repo_root / "check-baseline.json"
     only = [r.strip() for r in args.rules.split(",") if r.strip()] \
-        if args.rules else ()
+        if args.rules else []
     disable = [r.strip() for r in args.disable.split(",") if r.strip()] \
-        if args.disable else ()
+        if args.disable else []
+    # --select/--ignore expand rule-family prefixes (e.g. COMM, UNIT3)
+    # into the same only/disable machinery, so family filters reach the
+    # incremental cache key exactly like explicit --rules lists
+    try:
+        if args.select:
+            only.extend(rid for rid in chk.expand_rule_prefixes(
+                [p.strip() for p in args.select.split(",") if p.strip()])
+                if rid not in only)
+        if args.ignore:
+            disable.extend(rid for rid in chk.expand_rule_prefixes(
+                [p.strip() for p in args.ignore.split(",") if p.strip()])
+                if rid not in disable)
+    except ValueError as exc:
+        print(f"check: {exc}", file=sys.stderr)
+        return 2
     analyzer = chk.Analyzer(baseline=chk.load_baseline(baseline_path),
                             only=only, disable=disable)
     cache = DiskCache(Path(args.cache_dir)) if args.cache_dir else None
@@ -710,6 +725,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated rule ids to run exclusively")
     p.add_argument("--disable", default="", metavar="IDS",
                    help="comma-separated rule ids to skip")
+    p.add_argument("--select", default="", metavar="PREFIXES",
+                   help="comma-separated rule-family prefixes to run "
+                        "exclusively (e.g. COMM, UNIT3); expands to "
+                        "ids and combines with --rules")
+    p.add_argument("--ignore", default="", metavar="PREFIXES",
+                   help="comma-separated rule-family prefixes to skip; "
+                        "expands to ids and combines with --disable")
     p.add_argument("--strict", action="store_true",
                    help="fail on suppressions/baseline entries without "
                         "a justification")

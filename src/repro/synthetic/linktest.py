@@ -42,7 +42,13 @@ def bisection_program(comm, message_bytes: float, rounds: int):
     of exchange time for bandwidth extraction)."""
     half = comm.size // 2
     if comm.rank >= 2 * half:
-        yield comm.barrier(label="spectator")
+        # the odd rank out sits the bounce loop out but must still post
+        # the same barrier *sequence* as the paired ranks: barriers
+        # match by position on the communicator, so posting only one
+        # leaves everyone else's second barrier incomplete (deadlock at
+        # odd rank counts -- caught by COMM501 and the step engine)
+        yield comm.barrier(label="start")
+        yield comm.barrier(label="stop")
         return 0.0
     partner = comm.rank + half if comm.rank < half else comm.rank - half
     yield comm.barrier(label="start")

@@ -60,6 +60,29 @@ def nbytes_of(payload: Any) -> float:
     raise TypeError(f"cannot size payload of type {type(payload).__name__}")
 
 
+def _validate_tag(tag: Any) -> None:
+    """Tags address per-channel FIFO queues; reject junk at construction.
+
+    Catching a negative or non-int tag here (instead of deep in the
+    engine's matching tables) keeps the failure at the line that built
+    the op -- and is the contract the static protocol pass
+    (:mod:`repro.check.protocol`) assumes when it folds tags.
+    """
+    if isinstance(tag, bool) or not isinstance(tag, int):
+        raise TypeError(f"tag must be an int, got {type(tag).__name__}")
+    if tag < 0:
+        raise ValueError(f"tag must be non-negative, got {tag}")
+
+
+def _validate_root(root: Any) -> None:
+    """Rooted collectives need an int local rank; bounds are checked by
+    the communicator, type and sign are checked here."""
+    if isinstance(root, bool) or not isinstance(root, int):
+        raise TypeError(f"root must be an int, got {type(root).__name__}")
+    if root < 0:
+        raise ValueError(f"root must be non-negative, got {root}")
+
+
 class Op:
     """Base class for all yielded operations."""
 
@@ -110,6 +133,9 @@ class Send(Op):
     tag: int = 0
     comm_id: int = 0
 
+    def __post_init__(self) -> None:
+        _validate_tag(self.tag)
+
 
 @dataclass(frozen=True)
 class Recv(Op):
@@ -118,6 +144,9 @@ class Recv(Op):
     source: int
     tag: int = 0
     comm_id: int = 0
+
+    def __post_init__(self) -> None:
+        _validate_tag(self.tag)
 
 
 @dataclass(frozen=True)
@@ -129,6 +158,9 @@ class Isend(Op):
     tag: int = 0
     comm_id: int = 0
 
+    def __post_init__(self) -> None:
+        _validate_tag(self.tag)
+
 
 @dataclass(frozen=True)
 class Irecv(Op):
@@ -137,6 +169,9 @@ class Irecv(Op):
     source: int
     tag: int = 0
     comm_id: int = 0
+
+    def __post_init__(self) -> None:
+        _validate_tag(self.tag)
 
 
 @dataclass(frozen=True)
@@ -166,6 +201,9 @@ class Sendrecv(Op):
     tag: int = 0
     comm_id: int = 0
 
+    def __post_init__(self) -> None:
+        _validate_tag(self.tag)
+
 
 @dataclass(frozen=True)
 class Exchange(Op):
@@ -194,6 +232,9 @@ class Exchange(Op):
     comm_id: int = 0
     label: str = "p2p"
 
+    def __post_init__(self) -> None:
+        _validate_tag(self.tag)
+
 
 @dataclass(frozen=True)
 class Collective(Op):
@@ -220,6 +261,7 @@ class Collective(Op):
     def __post_init__(self) -> None:
         if self.kind not in self._KINDS:
             raise ValueError(f"unknown collective kind {self.kind!r}")
+        _validate_root(self.root)
 
 
 @dataclass
@@ -243,3 +285,65 @@ class Request:
 
     def __hash__(self) -> int:  # identity-hash: each posted request is unique
         return id(self)
+
+
+#: Introspection table of the :class:`~repro.vmpi.comm.Comm` facade:
+#: method name -> op kind and the facade's positional parameter names
+#: (with defaults).  The static protocol pass (``repro.check.protocol``)
+#: binds call-site arguments against these signatures instead of
+#: hardcoding the facade, so facade and analyzer cannot drift apart --
+#: a test asserts each entry matches ``Comm``'s real signature.
+#:
+#: Parameter names are semantic: ``dest``/``source``/``root`` are
+#: comm-local ranks, ``tag`` a channel tag, ``payload``/``payloads`` the
+#: data, ``op`` a reduce op, ``color``/``key`` the split arguments.
+COMM_METHODS: dict[str, dict] = {
+    "compute":   {"kind": "compute",
+                  "params": ("flops", "bytes_moved", "efficiency", "label"),
+                  "defaults": {"flops": 0.0, "bytes_moved": 0.0,
+                               "efficiency": 0.25, "label": "compute"}},
+    "elapse":    {"kind": "elapse", "params": ("seconds", "label"),
+                  "defaults": {"label": "elapse"}},
+    "send":      {"kind": "send", "params": ("dest", "payload", "tag"),
+                  "defaults": {"tag": 0}},
+    "recv":      {"kind": "recv", "params": ("source", "tag"),
+                  "defaults": {"tag": 0}},
+    "isend":     {"kind": "isend", "params": ("dest", "payload", "tag"),
+                  "defaults": {"tag": 0}},
+    "irecv":     {"kind": "irecv", "params": ("source", "tag"),
+                  "defaults": {"tag": 0}},
+    "wait":      {"kind": "wait", "params": ("request",), "defaults": {}},
+    "waitall":   {"kind": "waitall", "params": ("requests",),
+                  "defaults": {}},
+    "sendrecv":  {"kind": "sendrecv",
+                  "params": ("dest", "payload", "source", "tag"),
+                  "defaults": {"tag": 0}},
+    "exchange":  {"kind": "exchange",
+                  "params": ("sends", "recvs", "tag", "label"),
+                  "defaults": {"tag": 0, "label": "p2p"}},
+    "allreduce": {"kind": "allreduce", "params": ("payload", "op", "label"),
+                  "defaults": {"op": "sum", "label": "allreduce"}},
+    "allgather": {"kind": "allgather", "params": ("payload", "label"),
+                  "defaults": {"label": "allgather"}},
+    "alltoall":  {"kind": "alltoall", "params": ("payloads", "label"),
+                  "defaults": {"label": "alltoall"}},
+    "bcast":     {"kind": "bcast", "params": ("payload", "root", "label"),
+                  "defaults": {"root": 0, "label": "bcast"}},
+    "reduce":    {"kind": "reduce",
+                  "params": ("payload", "op", "root", "label"),
+                  "defaults": {"op": "sum", "root": 0, "label": "reduce"}},
+    "gather":    {"kind": "gather", "params": ("payload", "root", "label"),
+                  "defaults": {"root": 0, "label": "gather"}},
+    "scatter":   {"kind": "scatter",
+                  "params": ("payloads", "root", "label"),
+                  "defaults": {"root": 0, "label": "scatter"}},
+    "barrier":   {"kind": "barrier", "params": ("label",),
+                  "defaults": {"label": "barrier"}},
+    "split":     {"kind": "split", "params": ("color", "key"),
+                  "defaults": {"key": None}},
+}
+
+#: collective kinds that carry a meaningful root
+ROOTED_KINDS = frozenset({"bcast", "reduce", "gather", "scatter"})
+#: collective kinds that carry a meaningful reduce op
+REDUCING_KINDS = frozenset({"allreduce", "reduce"})

@@ -1,0 +1,33 @@
+"""Clean control programs: correct protocols the pass must stay quiet
+on, and the differential suite must run to completion."""
+
+
+def ring_shift(comm):
+    """Classic ring rotation via sendrecv, then a reduction."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    token = yield comm.sendrecv(right, float(comm.rank), left, tag=2)
+    total = yield comm.allreduce(token)
+    return total
+
+
+def staged_pipeline(comm):
+    """Nonblocking recv posted first, then the send: always safe."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    req = yield comm.irecv(left, tag=4)
+    yield comm.send(right, comm.rank, tag=4)
+    value = yield comm.wait(req)
+    yield comm.barrier(label="drain")
+    return value
+
+
+def rooted_round_trip(comm):
+    """Rank-invariant root: scatter out, gather back."""
+    if comm.rank == 0:
+        parts = tuple(float(i) for i in range(comm.size))
+    else:
+        parts = None
+    mine = yield comm.scatter(parts, root=0)
+    gathered = yield comm.gather(mine, root=0)
+    return gathered

@@ -1,0 +1,9 @@
+"""COMM501 fixture: a collective under non-covering rank-dependent
+control flow -- only the root posts the bcast."""
+
+
+def lonely_bcast(comm):
+    if comm.rank == 0:
+        yield comm.bcast("config", root=0)
+    yield comm.compute(flops=1.0)
+    return None

@@ -1,0 +1,12 @@
+"""COMM502 fixture: ranks of one communicator disagree on collective
+order -- the same sequence position mixes a barrier and an allreduce."""
+
+
+def crossed_order(comm):
+    if comm.rank == 0:
+        yield comm.barrier(label="sync")
+        total = yield comm.allreduce(1.0)
+    else:
+        total = yield comm.allreduce(1.0)
+        yield comm.barrier(label="sync")
+    return total

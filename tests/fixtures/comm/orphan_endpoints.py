@@ -1,0 +1,20 @@
+"""COMM506 fixtures: unmatched point-to-point endpoints."""
+
+
+def orphan_recv(comm):
+    """Rank 0 waits for a message rank 1 never sends; rank 1 simply
+    terminates, so the recv can never complete."""
+    if comm.rank == 0:
+        yield comm.recv(1, tag=5)
+    else:
+        yield comm.compute(flops=1.0)
+    return None
+
+
+def orphan_send(comm):
+    """Rank 0's eager send completes locally but nobody ever receives
+    it: the message is still queued when every rank terminates."""
+    if comm.rank == 0:
+        yield comm.send(1, 42.0, tag=6)
+    yield comm.barrier(label="done")
+    return None

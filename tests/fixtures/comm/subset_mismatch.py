@@ -1,0 +1,16 @@
+"""COMM505 fixtures: rooted/reducing collectives whose root or reduce
+op is not rank-invariant."""
+
+
+def skewed_root(comm):
+    """Each rank derives its own root: the collective cannot agree on
+    a data source."""
+    yield comm.reduce(float(comm.rank), root=comm.rank % 2)
+    return None
+
+
+def mixed_reduce_op(comm):
+    """Rank 0 sums while everyone else takes the max."""
+    op = "sum" if comm.rank == 0 else "max"
+    total = yield comm.allreduce(1.0, op=op)
+    return total

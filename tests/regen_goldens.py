@@ -158,6 +158,28 @@ def regenerate_check_goldens() -> dict[str, Path]:
     return {"check_sarif": sarif_path, "check_json": json_path}
 
 
+def regenerate_comm_goldens() -> dict[str, Path]:
+    """COMM5xx snapshots over the broken-rank-program fixtures.
+
+    The fixture tree is analyzed with only the COMM family enabled, so
+    the goldens isolate the protocol verdicts (including their
+    inference traces).  The same fixtures feed the differential suite
+    (``tests/test_check_comm_differential.py``), which replays them
+    through the step engine.
+    """
+    from repro.check import Analyzer, render_json, render_sarif
+    from repro.check.rules import expand_rule_prefixes
+
+    fixtures = Path(__file__).parent / "fixtures" / "comm"
+    report = Analyzer(only=expand_rule_prefixes(["COMM"])).run(
+        fixtures, rel_base=fixtures)
+    sarif_path = GOLDEN_DIR / "comm_fixture.sarif"
+    sarif_path.write_text(render_sarif(report))
+    json_path = GOLDEN_DIR / "comm_fixture.json"
+    json_path.write_text(render_json(report, strict=True))
+    return {"comm_sarif": sarif_path, "comm_json": json_path}
+
+
 def regenerate() -> dict[str, Path]:
     from repro.core import load_suite
     from repro.vmpi import default_mode
@@ -204,7 +226,8 @@ def regenerate() -> dict[str, Path]:
             "telemetry_trace": trace_path,
             "telemetry_chrome": chrome_path,
             **regenerate_chaos_goldens(),
-            **regenerate_check_goldens()}
+            **regenerate_check_goldens(),
+            **regenerate_comm_goldens()}
 
 
 if __name__ == "__main__":
