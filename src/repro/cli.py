@@ -14,6 +14,8 @@ Sub-commands::
     jubench check [--format sarif]     # static analysis + sanitizers
     jubench chaos [--seed N]           # deterministic fault-injection smoke
     jubench procurement                # demo TCO evaluation of proposals
+    jubench submit --spool DIR         # pack task envelopes for a service
+    jubench serve --spool DIR          # drain a spool through endpoints
 
 Execution commands accept engine options: ``--vmpi-mode event|step``
 picks the virtual-MPI engine core (the discrete-event core is the
@@ -576,6 +578,133 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if accounted else 1
 
 
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Pack benchmark executions as service task envelopes.
+
+    Default mode writes one ``<client>-<seq>-<task_id>.json`` envelope
+    per benchmark into the ``--spool`` directory for a later ``jubench
+    serve`` to drain (the loopback wire).  ``--direct`` skips the
+    service entirely and runs the same envelopes in-process, writing
+    the canonical result export -- the byte-identity baseline the
+    service path must reproduce.
+    """
+    import json
+    from pathlib import Path
+
+    from .service import ServiceClient, execute_direct
+
+    suite = load_suite()
+    names = suite.names()
+    if args.benchmarks:
+        wanted = {b.strip() for b in args.benchmarks.split(",")}
+        unknown = sorted(wanted - set(names))
+        if unknown:
+            raise SystemExit(f"jubench submit: unknown benchmark(s): "
+                             f"{', '.join(unknown)}; see 'jubench list'")
+        names = [n for n in names if n in wanted]
+    client = ServiceClient(None, args.client, suite=suite)
+    envelopes = [client.make_envelope(name, scale=args.scale)
+                 for name in names]
+    if args.direct:
+        store = execute_direct(envelopes, suite=suite)
+        doc = store.canonical_export()
+        if not args.export or args.export == "-":
+            sys.stdout.write(doc)
+        else:
+            Path(args.export).write_text(doc, encoding="utf-8")
+            print(f"submit: direct canonical export -> {args.export}")
+        return 0
+    if not args.spool:
+        raise SystemExit("jubench submit: --spool DIR is required "
+                         "(or use --direct)")
+    spool = Path(args.spool)
+    spool.mkdir(parents=True, exist_ok=True)
+    for env in envelopes:
+        path = spool / f"{env.client}-{env.seq:06d}-{env.task_id}.json"
+        path.write_text(json.dumps(env.to_wire(), sort_keys=True,
+                                   indent=1) + "\n", encoding="utf-8")
+    print(f"submit: {len(envelopes)} task envelope(s) -> {spool}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Loopback service: drain a spool of envelopes through endpoints.
+
+    Reads every ``*.json`` task envelope from ``--spool`` (sorted, so
+    per-client submission order is the file order), registers
+    ``--endpoints`` local execution-engine endpoints sharing one
+    result cache, routes the envelopes through the fair-share
+    interchange on the virtual clock, and drains to completion.
+    ``--faults`` / ``--fault-seed`` map node crashes onto endpoints by
+    registration index, exercising lease expiry and requeue.
+    """
+    import json
+    from pathlib import Path
+
+    from .faults import FaultPlan
+    from .service import (
+        BenchmarkService,
+        Capabilities,
+        EnvelopeError,
+        LocalEndpoint,
+        ResultStore,
+        TaskEnvelope,
+    )
+
+    spool = Path(args.spool)
+    files = sorted(spool.glob("*.json")) if spool.is_dir() else []
+    if not files:
+        raise SystemExit(f"jubench serve: no task envelopes in "
+                         f"{spool} (run 'jubench submit --spool "
+                         f"{spool}' first)")
+    try:
+        envelopes = [TaskEnvelope.from_wire(
+            json.loads(f.read_text(encoding="utf-8"))) for f in files]
+    except EnvelopeError as exc:
+        raise SystemExit(f"jubench serve: {exc}")
+    plan = _fault_plan(args)
+    store = ResultStore(args.results) if args.results else ResultStore()
+    service = BenchmarkService(
+        heartbeat_period=args.heartbeat_period,
+        heartbeat_threshold=args.heartbeat_threshold,
+        max_backlog=args.max_backlog, store=store,
+        faults=plan if plan is not None else FaultPlan())
+    cache = None
+    if not args.no_cache:
+        cache = DiskCache(args.cache_dir) if args.cache_dir \
+            else MemoryCache()
+    suite = load_suite()
+    ambient = current_tracer()
+    for i in range(args.endpoints):
+        engine = ExecutionEngine(
+            workers=args.workers, backend=args.backend, cache=cache,
+            tracer=ambient if ambient.enabled else None)
+        service.register_endpoint(LocalEndpoint(
+            f"ep{i}", suite=suite, engine=engine,
+            capabilities=Capabilities(workers=args.workers,
+                                      backend=args.backend)))
+    futures = [service.submit(env) for env in envelopes]
+    service.drain()
+    counts = store.counts()
+    tally = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"serve: {len(envelopes)} envelope(s) over {args.endpoints} "
+          f"endpoint(s) -- {tally}")
+    if args.results:
+        print(f"serve: result store -> {args.results}")
+    if args.dispatch_log:
+        Path(args.dispatch_log).write_text(service.log_json(),
+                                           encoding="utf-8")
+        print(f"serve: dispatch log -> {args.dispatch_log}")
+    if args.export:
+        doc = store.canonical_export()
+        if args.export == "-":
+            sys.stdout.write(doc)
+        else:
+            Path(args.export).write_text(doc, encoding="utf-8")
+            print(f"serve: canonical export -> {args.export}")
+    return 0 if all(f.status == "ok" for f in futures) else 1
+
+
 def _cmd_procurement(_args: argparse.Namespace) -> int:
     from .cluster.hardware import jupiter_booster_model
 
@@ -773,6 +902,78 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save-plan", default=None, metavar="PATH",
                    help="save the effective fault plan as JSON")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser("submit",
+                       help="pack benchmark executions as service task "
+                            "envelopes (spool for 'jubench serve', or "
+                            "run them directly)")
+    p.add_argument("--spool", default=None, metavar="DIR",
+                   help="write one task-envelope JSON per benchmark "
+                        "into this spool directory")
+    p.add_argument("--client", default="cli", metavar="NAME",
+                   help="client identity stamped on the envelopes "
+                        "(default 'cli')")
+    p.add_argument("--benchmarks", default="",
+                   help="comma-separated subset (default: all)")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--direct", action="store_true",
+                   help="bypass the service: execute the envelopes "
+                        "in-process and emit the canonical export "
+                        "(the byte-identity baseline)")
+    p.add_argument("--export", default=None, metavar="FILE",
+                   help="with --direct: write the canonical byte-stable "
+                        "JSON export ('-' or omitted for stdout)")
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser("serve",
+                       help="loopback benchmark service: drain a spool "
+                            "of task envelopes through local endpoints "
+                            "(deterministic virtual-clock schedule)")
+    p.add_argument("--spool", required=True, metavar="DIR",
+                   help="spool directory of task envelopes "
+                        "(from 'jubench submit --spool DIR')")
+    p.add_argument("--endpoints", type=_workers, default=2, metavar="N",
+                   help="local endpoints to register (default 2)")
+    p.add_argument("--workers", type=_workers, default=1,
+                   help="execution-engine workers per endpoint")
+    p.add_argument("--backend", choices=["serial", "thread", "process"],
+                   default="thread", help="pool backend (default thread)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persist the shared result cache as JSON in "
+                        "this directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable result memoisation")
+    p.add_argument("--heartbeat-period", type=float, default=5.0,
+                   metavar="S", help="endpoint heartbeat period in "
+                                     "virtual seconds (default 5)")
+    p.add_argument("--heartbeat-threshold", type=int, default=3,
+                   metavar="N", help="missed beats before an endpoint "
+                                     "is declared lost (default 3)")
+    p.add_argument("--max-backlog", type=_workers, default=64,
+                   metavar="N", help="per-client queue bound; excess "
+                                     "submissions are rejected "
+                                     "explicitly (default 64)")
+    p.add_argument("--results", default=None, metavar="FILE.jsonl",
+                   help="persist the durable result store (append-only "
+                        "JSONL journal of result envelopes)")
+    p.add_argument("--export", default=None, metavar="FILE",
+                   help="write the canonical byte-stable JSON export "
+                        "of final outcomes ('-' for stdout)")
+    p.add_argument("--dispatch-log", default=None, metavar="FILE",
+                   help="write the byte-reproducible dispatch log "
+                        "(every scheduling decision) as JSON")
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="fault plan whose node crashes map onto "
+                        "endpoints by registration index")
+    p.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                   help="generate a reproducible fault plan from this "
+                        "seed instead of a plan file")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write the telemetry trace (service events + "
+                        "engine task spans)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the metrics-registry report at the end")
+    p.set_defaults(fn=_cmd_serve)
 
     sub.add_parser("procurement",
                    help="demo TCO evaluation").set_defaults(

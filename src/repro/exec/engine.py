@@ -164,7 +164,8 @@ def _run_guarded(fn: Callable[..., Any], args: tuple,
                  timeout: float | None,
                  clock: Callable[[], float] = time.perf_counter,
                  guard: Callable[[int], None] | None = None,
-                 backoff: Any = None, label: str = "") -> _Attempt:
+                 backoff: Any = None, label: str = "",
+                 key: str | None = None) -> _Attempt:
     """Run one item inside the fault boundary.
 
     Module-level so the process backend can pickle it.
@@ -182,7 +183,11 @@ def _run_guarded(fn: Callable[..., Any], args: tuple,
     ``InjectedFault`` (captured and retried like an organic failure).
     ``backoff`` (a :class:`~repro.exec.resilience.BackoffPolicy`)
     inserts a deterministic pause between failed attempts, advancing
-    virtual clocks instead of sleeping.
+    virtual clocks instead of sleeping.  When the item carries a
+    content-addressed ``key`` it seeds the backoff jitter, so the
+    retry schedule of a keyed item replays identically in any process
+    (service-path determinism); keyless items keep the per-policy
+    ``(seed, label, attempt)`` draw.
 
     Every attempt runs under a local span collector installed as the
     ambient tracer, so instrumented task code (JUBE workunits, nested
@@ -216,7 +221,10 @@ def _run_guarded(fn: Callable[..., Any], args: tuple,
                     span.set(status="error",
                              error=f"{type(exc).__name__}: {exc}")
                     if backoff is not None and attempts <= retries:
-                        delay = backoff.delay(label, attempts)
+                        if key is not None:
+                            delay = backoff.delay(label, attempts, key=key)
+                        else:
+                            delay = backoff.delay(label, attempts)
                         span.set(backoff=delay)
                         _pause(clock, delay)
                     continue
@@ -262,7 +270,8 @@ class ExecutionEngine:
         self.timeout = timeout
         #: fault injector (duck-typed: ``task_guard(label)``); None = off
         self.faults = faults
-        #: retry backoff policy (duck-typed: ``delay(label, attempt)``)
+        #: retry backoff policy (duck-typed: ``delay(label, attempt)``,
+        #: plus a ``key=`` kwarg for content-addressed items)
         self.backoff = backoff
         #: circuit breaker (duck-typed: ``allow``/``block``/``record``)
         self.breaker = breaker
@@ -319,7 +328,7 @@ class ExecutionEngine:
                         items[i].kwargs, self._retries_for(items[i]),
                         self._timeout_for(items[i]), self.tracer.clock,
                         self._guard_for(i, items[i]), self.backoff,
-                        items[i].display(i))
+                        items[i].display(i), items[i].key)
                     for i in pending
                 }
                 for i, future in futures.items():
@@ -371,7 +380,7 @@ class ExecutionEngine:
                             self._retries_for(item),
                             self._timeout_for(item), self.tracer.clock,
                             self._guard_for(index, item), self.backoff,
-                            item.display(index))
+                            item.display(index), item.key)
 
     def _guard_for(self, index: int,
                    item: WorkItem) -> Callable[[int], None] | None:

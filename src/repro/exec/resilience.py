@@ -35,6 +35,14 @@ class BackoffPolicy:
     ``max_delay``, then jittered multiplicatively into
     ``[1 - jitter/2, 1 + jitter/2)`` with a hash-derived uniform draw.
     Frozen dataclass, so it pickles into process-pool workers.
+
+    Pass ``key`` (a content address -- the work item's cache key, a
+    service envelope's task id) to seed the draw **per envelope**: the
+    jitter becomes a pure function of ``(key, attempt)`` alone, so a
+    replay in another process, with another policy instance or another
+    per-process ``seed``, reproduces the same schedule.  Without a
+    key the draw falls back to the legacy per-policy
+    ``(seed, label, attempt)`` seeding.
     """
 
     base: float = 0.05
@@ -49,12 +57,16 @@ class BackoffPolicy:
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError("jitter must be within [0, 1]")
 
-    def delay(self, label: str, attempt: int) -> float:
+    def delay(self, label: str, attempt: int,
+              key: str | None = None) -> float:
         raw = min(self.base * self.factor ** max(0, attempt - 1),
                   self.max_delay)
         if self.jitter == 0.0:
             return raw
-        u = hash_fraction("backoff", self.seed, label, attempt)
+        if key is not None:
+            u = hash_fraction("backoff", key, attempt)
+        else:
+            u = hash_fraction("backoff", self.seed, label, attempt)
         return raw * (1.0 + self.jitter * (u - 0.5))
 
 

@@ -1,0 +1,54 @@
+"""Benchmark-as-a-service control plane (``repro.service``).
+
+The funcx-style service layer over :mod:`repro.exec`: versioned
+content-addressed envelopes (:mod:`~repro.service.envelope`), endpoint
+registration with heartbeat leases (:mod:`~repro.service.endpoint`),
+a fair-share interchange with admission control
+(:mod:`~repro.service.interchange`), a futures-based client
+(:mod:`~repro.service.client`) and a durable result store with a
+canonical byte-stable export (:mod:`~repro.service.store`).
+
+Everything is deterministic on an injectable clock; the CLI wires the
+loopback pair ``jubench serve`` / ``jubench submit`` on top.
+"""
+
+from .client import (
+    CancelledError,
+    RejectedError,
+    ServiceClient,
+    ServiceError,
+    ServiceFuture,
+    TaskFailedError,
+)
+from .endpoint import Capabilities, LeaseTable, LocalEndpoint
+from .envelope import (
+    RESULT_STATUSES,
+    SERVICE_SCHEMA,
+    SERVICE_VERSION,
+    EnvelopeError,
+    ResultEnvelope,
+    TaskEnvelope,
+)
+from .interchange import BenchmarkService
+from .store import ResultStore, execute_direct
+
+__all__ = [
+    "BenchmarkService",
+    "Capabilities",
+    "CancelledError",
+    "EnvelopeError",
+    "LeaseTable",
+    "LocalEndpoint",
+    "RESULT_STATUSES",
+    "RejectedError",
+    "ResultEnvelope",
+    "ResultStore",
+    "SERVICE_SCHEMA",
+    "SERVICE_VERSION",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceFuture",
+    "TaskEnvelope",
+    "TaskFailedError",
+    "execute_direct",
+]

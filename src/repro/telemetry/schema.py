@@ -23,6 +23,11 @@ types:
     ("task" | "node" | "link" | "straggler" | "breaker"), ``target``
     (task label / ``node:N`` / link class), ``action`` and the
     tracer-clock time ``at``.
+``service``
+    One control-plane decision (``repro.service``): ``action``
+    (submit / reject / dispatch / requeue / lost / crash / restore /
+    cancel / complete / register), ``target`` (task id or endpoint id)
+    and the service-clock time ``at``.
 
 :func:`validate_event` / :func:`validate_file` enforce this shape; the
 CI smoke job runs ``python -m repro.telemetry.schema trace.jsonl``.
@@ -52,12 +57,15 @@ _REQUIRED: dict[str, dict[str, tuple[type, ...]]] = {
     "metrics": {"snapshot": (dict,)},
     "fault": {"category": (str,), "target": (str,), "action": (str,),
               "at": _NUMBER},
+    "service": {"action": (str,), "target": (str,), "at": _NUMBER},
 }
 
 _TASK_STATUSES = ("ok", "error")
 _CACHE_STATES = ("hit", "miss", "off")
 _VMPI_BUCKETS = ("compute", "comm")
 _FAULT_CATEGORIES = ("task", "node", "link", "straggler", "breaker")
+_SERVICE_ACTIONS = ("register", "submit", "reject", "dispatch", "requeue",
+                    "lost", "crash", "restore", "cancel", "complete")
 
 
 class SchemaError(ValueError):
@@ -108,6 +116,12 @@ def validate_event(obj: Any) -> dict[str, Any]:
         if obj["category"] not in _FAULT_CATEGORIES:
             raise SchemaError(f"fault category {obj['category']!r} not in "
                               f"{_FAULT_CATEGORIES}")
+    elif etype == "service":
+        if obj["action"] not in _SERVICE_ACTIONS:
+            raise SchemaError(f"service action {obj['action']!r} not in "
+                              f"{_SERVICE_ACTIONS}")
+        if obj["at"] < 0:
+            raise SchemaError("service event with negative time")
     elif etype == "meta" and obj["schema"] != SCHEMA_NAME:
         raise SchemaError(f"unsupported schema {obj['schema']!r}; "
                           f"this reader understands {SCHEMA_NAME!r}")

@@ -1,0 +1,237 @@
+"""Protocol-level property tests of the service wire envelopes.
+
+Satellite tier of the ``repro.service`` control plane: Hypothesis
+drives the envelope codecs through arbitrary payloads, asserting
+
+* encode/decode **round-trip identity** (`to_wire` -> JSON ->
+  `from_wire` reproduces the envelope),
+* **content-address stability**: the task id is invariant under wire
+  field reordering and JSON re-serialisation,
+* **versioning**: unknown schema ids are rejected with an actionable
+  error, tampered task ids are detected,
+
+plus the regression tests of the latent
+:class:`repro.exec.resilience.BackoffPolicy` bug the harness design
+surfaced: retry jitter must be seedable **per envelope** (content
+hash), not only per process-wide policy seed, so service-path replays
+are deterministic across processes and policy instances.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.resilience import BackoffPolicy
+from repro.service import (
+    SERVICE_SCHEMA,
+    EnvelopeError,
+    ResultEnvelope,
+    TaskEnvelope,
+)
+
+_IDENT = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"),
+                           whitelist_characters="-._"),
+    min_size=1, max_size=24)
+
+_PARAM_VALUE = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-10**6,
+                                          max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    _IDENT)
+
+_PARAMS = st.dictionaries(_IDENT, _PARAM_VALUE, max_size=5)
+
+
+def _envelopes() -> st.SearchStrategy[TaskEnvelope]:
+    return st.builds(
+        TaskEnvelope,
+        client=_IDENT, benchmark=_IDENT, key=_IDENT, params=_PARAMS,
+        seq=st.integers(min_value=0, max_value=10**6), label=_IDENT,
+        retries=st.one_of(st.none(),
+                          st.integers(min_value=0, max_value=9)),
+        timeout=st.one_of(st.none(),
+                          st.floats(min_value=0.1, max_value=1e6,
+                                    allow_nan=False)))
+
+
+class TestTaskEnvelopeRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(env=_envelopes())
+    def test_wire_round_trip_identity(self, env):
+        wire = json.loads(json.dumps(env.to_wire()))
+        back = TaskEnvelope.from_wire(wire)
+        assert back == env
+        assert back.task_id == env.task_id
+
+    @settings(max_examples=120, deadline=None)
+    @given(env=_envelopes(), data=st.data())
+    def test_content_address_stable_across_field_order(self, env, data):
+        wire = env.to_wire()
+        keys = data.draw(st.permutations(sorted(wire)))
+        shuffled = json.loads(json.dumps({k: wire[k] for k in keys}))
+        assert list(shuffled) == list(keys)  # ordering really differs
+        back = TaskEnvelope.from_wire(shuffled)
+        assert back.task_id == env.task_id
+
+    @settings(max_examples=60, deadline=None)
+    @given(env=_envelopes())
+    def test_task_id_is_process_independent(self, env):
+        # re-deriving the id from the decoded wire form never drifts
+        twin = TaskEnvelope.from_wire(env.to_wire())
+        assert twin.task_id == env.task_id
+        assert env.task_id.startswith(
+            "".join(c if c.isalnum() or c in "-._" else "_"
+                    for c in env.benchmark))
+
+    def test_seq_distinguishes_resubmissions(self):
+        env = TaskEnvelope(client="c", benchmark="b", key="k", seq=0)
+        assert env.with_seq(1).task_id != env.task_id
+
+
+class TestSchemaVersioning:
+    @settings(max_examples=40, deadline=None)
+    @given(env=_envelopes(), bogus=_IDENT)
+    def test_unknown_schema_rejected_actionably(self, env, bogus):
+        wire = env.to_wire()
+        wire["schema"] = f"repro.service/v{bogus}"
+        with pytest.raises(EnvelopeError) as err:
+            TaskEnvelope.from_wire(wire)
+        message = str(err.value)
+        assert SERVICE_SCHEMA in message      # says what it speaks
+        assert wire["schema"] in message      # says what it got
+
+    def test_missing_schema_rejected(self):
+        wire = TaskEnvelope(client="c", benchmark="b", key="k").to_wire()
+        del wire["schema"]
+        with pytest.raises(EnvelopeError):
+            TaskEnvelope.from_wire(wire)
+
+    def test_missing_required_field_names_it(self):
+        wire = TaskEnvelope(client="c", benchmark="b", key="k").to_wire()
+        del wire["key"]
+        with pytest.raises(EnvelopeError, match="key"):
+            TaskEnvelope.from_wire(wire)
+
+    def test_tampered_task_id_detected(self):
+        wire = TaskEnvelope(client="c", benchmark="b", key="k").to_wire()
+        wire["benchmark"] = "tampered"
+        with pytest.raises(EnvelopeError, match="content address"):
+            TaskEnvelope.from_wire(wire)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(EnvelopeError, match="object"):
+            TaskEnvelope.from_wire(["not", "a", "dict"])
+
+
+class TestResultEnvelope:
+    @settings(max_examples=80, deadline=None)
+    @given(task_id=_IDENT, client=_IDENT, benchmark=_IDENT, key=_IDENT,
+           status=st.sampled_from(["ok", "error", "rejected",
+                                   "cancelled"]),
+           attempts=st.integers(min_value=0, max_value=9),
+           cache=st.sampled_from(["hit", "miss", "off"]))
+    def test_wire_round_trip(self, task_id, client, benchmark, key,
+                             status, attempts, cache):
+        env = ResultEnvelope(
+            task_id=task_id, client=client, benchmark=benchmark, key=key,
+            status=status, value={"fom": 1.5} if status == "ok" else None,
+            error=None if status == "ok" else "boom",
+            endpoint="ep0", attempts=attempts, cache=cache)
+        back = ResultEnvelope.from_wire(json.loads(json.dumps(
+            env.to_wire())))
+        assert back == env
+        assert back.result_id == env.result_id
+
+    def test_canonical_excludes_scheduling_provenance(self):
+        a = ResultEnvelope(task_id="t", client="c", benchmark="b",
+                           key="k", status="ok", value=1.0,
+                           endpoint="ep0", attempts=1, cache="miss")
+        b = ResultEnvelope(task_id="t", client="c", benchmark="b",
+                           key="k", status="ok", value=1.0,
+                           endpoint="ep7", attempts=3, cache="hit")
+        assert a.canonical() == b.canonical()
+        assert a.result_id == b.result_id
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(EnvelopeError, match="status"):
+            ResultEnvelope(task_id="t", client="c", benchmark="b",
+                           key="k", status="exploded")
+
+    def test_error_status_requires_message(self):
+        with pytest.raises(EnvelopeError, match="error message"):
+            ResultEnvelope(task_id="t", client="c", benchmark="b",
+                           key="k", status="error")
+
+
+class TestBackoffPerEnvelopeSeeding:
+    """Regression: retry draws seed from the envelope content hash."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(key=_IDENT, attempt=st.integers(min_value=1, max_value=8),
+           seed_a=st.integers(min_value=0, max_value=2**31),
+           seed_b=st.integers(min_value=0, max_value=2**31))
+    def test_keyed_delay_ignores_process_seed(self, key, attempt,
+                                              seed_a, seed_b):
+        # the bug: two processes (different policy seeds) replaying the
+        # same envelope drew different jitter.  With a content-hash key
+        # the schedule is a pure function of the envelope.
+        a = BackoffPolicy(seed=seed_a)
+        b = BackoffPolicy(seed=seed_b)
+        assert a.delay("labelA", attempt, key=key) == \
+            b.delay("labelB", attempt, key=key)
+
+    @settings(max_examples=60, deadline=None)
+    @given(key=_IDENT, attempt=st.integers(min_value=1, max_value=8))
+    def test_keyed_delay_stays_bounded(self, key, attempt):
+        policy = BackoffPolicy()
+        d = policy.delay("l", attempt, key=key)
+        raw = min(policy.base * policy.factor ** (attempt - 1),
+                  policy.max_delay)
+        assert raw * (1 - policy.jitter / 2) <= d \
+            <= raw * (1 + policy.jitter / 2)
+
+    def test_distinct_keys_decorrelate(self):
+        policy = BackoffPolicy()
+        draws = {policy.delay("l", 2, key=f"task-{i}") for i in range(16)}
+        assert len(draws) > 1  # keys actually enter the draw
+
+    def test_legacy_unkeyed_path_unchanged(self):
+        # keyless calls keep the historical (seed, label, attempt) draw
+        # bit-for-bit -- chaos goldens depend on it
+        policy = BackoffPolicy(seed=123)
+        assert policy.delay("run:x", 2) == policy.delay("run:x", 2, key=None)
+        nojit = BackoffPolicy(base=1.0, factor=2.0, max_delay=5.0,
+                              jitter=0.0)
+        assert [nojit.delay("l", a) for a in (1, 2, 3, 4)] == \
+            [1.0, 2.0, 4.0, 5.0]
+
+    def test_engine_threads_item_key_into_backoff(self):
+        """Keyed work items replay the same backoff schedule in any
+        engine, regardless of the per-engine policy seed."""
+        from repro.exec.engine import ExecutionEngine, WorkItem
+        from repro.faults import FaultInjector, FaultPlan, TaskFaultRule
+        from repro.telemetry import ManualClock, Tracer
+
+        plan = FaultPlan(tasks=(TaskFaultRule(match="flaky",
+                                              attempts=(1,)),))
+
+        def backoffs(policy_seed: int, key: str | None) -> list[float]:
+            engine = ExecutionEngine(
+                workers=1, backend="serial", cache=None, retries=1,
+                tracer=Tracer(clock=ManualClock(start=0.0, tick=0.25)),
+                faults=FaultInjector(plan),
+                backoff=BackoffPolicy(seed=policy_seed))
+            engine.map([WorkItem(fn=float, args=(1.0,), label="flaky",
+                                 key=key)])
+            return [s.attrs["backoff"] for s in engine.tracer.finished()
+                    if "backoff" in s.attrs]
+
+        keyed_a = backoffs(policy_seed=1, key="envelope-hash")
+        keyed_b = backoffs(policy_seed=2, key="envelope-hash")
+        assert keyed_a and keyed_a == keyed_b  # seed no longer leaks in
+        unkeyed_a = backoffs(policy_seed=1, key=None)
+        unkeyed_b = backoffs(policy_seed=2, key=None)
+        assert unkeyed_a != unkeyed_b  # the legacy behaviour (the bug)
