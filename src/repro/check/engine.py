@@ -186,6 +186,11 @@ class Analyzer:
         local = [r for r in self.rules if r.scope == "local"]
         project = [r for r in self.rules if r.scope != "local"]
         registry_hash = stable_hash(ctx.registry.content())
+        # rules with cross-module state (interprocedural summaries)
+        # contribute a fingerprint so editing a helper in one module
+        # invalidates cached verdicts that depended on it
+        fingerprints = {r.id: fp for r in local
+                        if (fp := r.cache_fingerprint())}
 
         stats_before = (cache.stats.snapshot() if cache is not None
                         else None)
@@ -204,6 +209,9 @@ class Analyzer:
                     "rules": sorted(i for r in rules
                                     for i in (r.enabled_ids or
                                               r.all_ids())),
+                    "fingerprints": {r.id: fingerprints[r.id]
+                                     for r in rules
+                                     if r.id in fingerprints},
                 })
                 found, value = cache.get(key)
                 if found:

@@ -22,11 +22,28 @@ TOOL_NAME = "repro.check"
 TOOL_VERSION = "1.0.0"
 
 
-def render_human(report: CheckReport, *, strict: bool = False) -> str:
-    """Terminal rendering: findings, then a one-line verdict."""
+def render_human(report: CheckReport, *, strict: bool = False,
+                 explain: str | None = None) -> str:
+    """Terminal rendering: findings, then a one-line verdict.
+
+    ``explain`` names a rule id whose findings get their inference
+    trace printed inline (indented under the finding line) -- the
+    same derivation chain JSON and SARIF always carry.
+    """
     lines: list[str] = []
+
+    def _explain(finding: Finding) -> None:
+        if explain is None or finding.rule != explain:
+            return
+        if not finding.trace:
+            lines.append("    (no recorded inference trace)")
+            return
+        for step in finding.trace:
+            lines.append(f"    trace: {step}")
+
     for finding in report.active:
         lines.append(finding.render())
+        _explain(finding)
     if strict:
         for finding in report.strict_violations():
             lines.append(finding.render())
@@ -34,10 +51,12 @@ def render_human(report: CheckReport, *, strict: bool = False) -> str:
         note = finding.justification or "(no justification)"
         lines.append(f"{finding.path}:{finding.line}: suppressed "
                      f"{finding.rule}: {note}")
+        _explain(finding)
     for finding in report.baselined:
         note = finding.justification or "(no justification)"
         lines.append(f"{finding.path}:{finding.line}: baselined "
                      f"{finding.rule}: {note}")
+        _explain(finding)
     for entry in report.unused_baseline:
         lines.append(f"stale baseline entry: {entry.rule} at "
                      f"{entry.path} ({entry.snippet!r}) matched "
@@ -86,6 +105,8 @@ def _sarif_result(finding: Finding, rule_index: dict[str, int],
     }
     if finding.rule in rule_index:
         result["ruleIndex"] = rule_index[finding.rule]
+    if finding.trace:
+        result["properties"] = {"trace": list(finding.trace)}
     if suppression is not None:
         result["suppressions"] = [suppression]
     return result

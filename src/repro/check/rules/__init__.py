@@ -18,6 +18,7 @@ from .crosslayer import (
 )
 from .dataflow import DimensionalDataflowRule
 from .determinism import UnseededRngRule, WallClockRule
+from .reproducibility import ReproducibilityTaintRule
 
 #: rule classes in id order; ``default_rules()`` instantiates fresh ones
 RULE_CLASSES: tuple[type[Rule], ...] = (
@@ -30,6 +31,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     UnlockedModuleStateRule,  # LCK201
     DimensionalDataflowRule,  # UNIT301..UNIT305
     CommProtocolRule,         # COMM501..COMM506
+    ReproducibilityTaintRule,  # REP601..REP606
     TelemetryEventTypeRule,   # XLY401
     CliFlagDocumentedRule,    # XLY402
     RuleRegistrationRule,     # XLY403

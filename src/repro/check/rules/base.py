@@ -117,6 +117,15 @@ class Rule:
     def applies_to(self, relpath: str) -> bool:
         return True
 
+    def cache_fingerprint(self) -> str:
+        """Extra cache-key material for local rules whose per-module
+        verdicts depend on cross-module state (e.g. interprocedural
+        summaries).  The engine mixes it into each module's cache key,
+        so editing a helper in one file invalidates dependent verdicts
+        everywhere.  Must be stable across runs over the same tree;
+        the default (no cross-module state) contributes nothing."""
+        return ""
+
     def prepare(self, ctx: ProjectContext) -> None:
         """Receive the whole-project view before any module runs."""
 

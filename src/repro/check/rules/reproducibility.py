@@ -1,0 +1,868 @@
+"""REP6xx: interprocedural nondeterminism-taint analysis.
+
+The whole repository rests on one invariant: every canonical artifact
+(``canonical()`` / ``canonical_export()`` methods, journal digests,
+content-addressed ``task_id`` / ``record_key`` / ``result_key``
+computations, provenance stamps) must be byte-identical across worker
+counts, cache temperature, replays and ``PYTHONHASHSEED`` values.  The
+differential ``cmp`` suites can only sample that space; this rule
+proves it per code path, the way COMM5xx lifted protocol correctness
+out of the test suite.
+
+One rule class runs a flow-sensitive taint interpretation per module
+and emits six rule ids:
+
+* **REP601** -- an environment- or identity-tainted value
+  (``os.environ``, ``os.urandom``, ``uuid4``, ``id()``, string
+  ``hash()``) reaches a canonical sink: the exported bytes change
+  across processes;
+* **REP602** -- iteration order of a ``set``/unordered view (or an
+  order-sensitive consumer such as ``TopologicalSorter.static_order``)
+  reaches serialized output: bytes depend on ``PYTHONHASHSEED``;
+* **REP603** -- a wall-clock reading escapes a model function or
+  reaches a canonical sink outside the declared volatile block;
+* **REP604** -- process-global / unseeded RNG reaches a
+  content-address hash (``stable_hash``, ``record_key``, ...): the
+  same logical result gets a fresh address every run;
+* **REP605** -- thread-completion order (``as_completed``,
+  ``imap_unordered``) feeds an accumulation that reaches serialized
+  output: bytes depend on scheduling;
+* **REP606** -- a sink serializes an instance attribute assigned from
+  a nondeterministic source: the field is volatile in all but name.
+
+Taint *sources* are wall clocks, process-global RNG, the environment,
+object identity, unordered iteration and thread-completion order.
+*Sanitizers* clear order taints only: ``sorted()`` (with a
+deterministic key), ``min``/``max``/``sum``/``len``/``any``/``all``
+-- a value taint never washes out short of a volatile block.  Seeded
+RNG (``Random(seed)``, ``default_rng(seed)``) and injectable clocks
+are never sources; only the direct global-state reads are.  *Sinks*
+are returns of functions named like canonical exporters or content
+addresses, arguments of ``stable_hash``/``hash_fraction``/
+``result_key``, and (for wall clocks) any model-code return.
+
+The analysis is flow-sensitive within a function and interprocedural
+through memoized per-function return-taint summaries resolved like the
+COMM ``ProjectIndex`` (same module first, then a unique global match;
+anything else stays clean -- unknown code is quiet at the boundary, so
+constructors act as the sanctioned volatile boundary: taint handed to
+an unresolved constructor is deliberately out of scope, which is
+exactly the ``RunRecord(volatile=...)`` contract).  Because a module's
+verdict depends on *other* modules' function bodies, the rule
+contributes a summary-table fingerprint to the incremental cache key
+(:meth:`ReproducibilityTaintRule.cache_fingerprint`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ...exec.cache import stable_hash
+from ..findings import Severity
+from .base import (
+    Collector,
+    ModuleInfo,
+    ProjectContext,
+    Rule,
+    canonical_name,
+    import_aliases,
+    walk_functions,
+)
+from .determinism import (
+    NP_GLOBAL_FNS,
+    PY_RANDOM_FNS,
+    WALL_CLOCKS,
+    _model_scope,
+)
+
+ID_SEVERITY = {
+    "REP601": Severity.ERROR,
+    "REP602": Severity.ERROR,
+    "REP603": Severity.WARNING,
+    "REP604": Severity.ERROR,
+    "REP605": Severity.ERROR,
+    "REP606": Severity.ERROR,
+}
+
+ID_DESCRIPTIONS = {
+    "REP601": ("A canonical/content-address sink returns or hashes a "
+               "value tainted by the process environment or object "
+               "identity (os.environ, os.urandom, uuid4, id(), string "
+               "hash()); the exported bytes change across processes."),
+    "REP602": ("Iteration order of a set/unordered view (or an "
+               "order-sensitive consumer such as "
+               "TopologicalSorter.static_order) reaches serialized "
+               "output; bytes depend on PYTHONHASHSEED. Sort before "
+               "serializing."),
+    "REP603": ("A wall-clock reading escapes a model function or "
+               "reaches a canonical sink outside the declared "
+               "volatile block; reruns produce different bytes."),
+    "REP604": ("Process-global or unseeded RNG reaches a "
+               "content-address hash (stable_hash, record_key, "
+               "task_id); the same logical result gets a fresh "
+               "address every run."),
+    "REP605": ("Thread/process completion order (as_completed, "
+               "imap_unordered) feeds an accumulation that reaches "
+               "serialized output; bytes depend on scheduling. "
+               "Collect in submission order instead."),
+    "REP606": ("A sink serializes an instance attribute assigned from "
+               "a nondeterministic source; the field is volatile in "
+               "all but name. Declare it in the volatile block or "
+               "drop it from the canonical form."),
+}
+
+# -- taint categories --------------------------------------------------------
+
+WALL = "wall-clock"
+RNG = "rng"
+ENV = "environment"
+IDENT = "identity"
+SET_ORDER = "set-order"
+FS_ORDER = "fs-order"
+THREAD_ORDER = "thread-order"
+
+#: categories that taint the *value* itself; a sort cannot wash these out
+VALUE_CATS = frozenset({WALL, RNG, ENV, IDENT})
+#: categories that taint only the *iteration order* of a container
+ORDER_CATS = frozenset({SET_ORDER, FS_ORDER, THREAD_ORDER})
+
+_CAT_RULE = {WALL: "REP603", RNG: "REP604", ENV: "REP601",
+             IDENT: "REP601", SET_ORDER: "REP602", FS_ORDER: "REP602",
+             THREAD_ORDER: "REP605"}
+
+# -- source tables -----------------------------------------------------------
+
+#: environment reads; ``os.environ`` itself taints through attribute eval
+ENV_CALLS = frozenset({
+    "os.getenv", "os.urandom", "os.getpid", "os.getcwd", "os.uname",
+    "socket.gethostname", "platform.node", "platform.platform",
+    "uuid.uuid1", "uuid.uuid4",
+})
+
+FS_ORDER_CALLS = frozenset({"os.listdir", "os.scandir", "glob.glob",
+                            "glob.iglob"})
+FS_ORDER_METHODS = frozenset({"iterdir", "glob", "rglob", "scandir"})
+
+THREAD_ORDER_CALLS = frozenset({"concurrent.futures.as_completed",
+                                "as_completed"})
+THREAD_ORDER_METHODS = frozenset({"as_completed", "imap_unordered"})
+
+#: builtins whose result forgets iteration order (the sanitizer set)
+ORDER_CLEARING = frozenset({"sorted", "min", "max", "sum", "len",
+                            "any", "all"})
+#: calls that pass taint through unchanged
+PRESERVING = frozenset({
+    "list", "tuple", "dict", "str", "repr", "float", "int", "bool",
+    "abs", "round", "zip", "map", "filter", "enumerate", "reversed",
+    "iter", "next", "json.dumps", "json.loads", "copy.copy",
+    "copy.deepcopy", "format",
+})
+#: constructors whose *output order* follows their input's iteration
+#: order (Name-calls are otherwise a quiet boundary)
+PROPAGATING_CTORS = frozenset({"TopologicalSorter",
+                               "graphlib.TopologicalSorter"})
+#: method calls whose *result order* is their receiver's insertion
+#: order; consuming an order-tainted receiver here is already the bug
+ORDER_SENSITIVE_METHODS = frozenset({"static_order"})
+
+#: list/set mutators that fold argument taint into the receiver
+_MUTATORS = frozenset({"append", "add", "update", "extend", "insert",
+                       "setdefault", "appendleft"})
+
+# -- sink tables -------------------------------------------------------------
+
+#: functions whose return value is a canonical, golden-compared export
+CANONICAL_SINKS = frozenset({"canonical", "canonical_export", "stamp",
+                             "to_line", "to_wire"})
+#: functions whose return value is a content address / identity hash
+ADDRESS_SINKS = frozenset({"digest", "task_id", "record_key",
+                           "series_key", "run_key", "result_key",
+                           "result_id", "cache_key", "content_key"})
+#: call tails whose arguments feed a content-address hash directly
+HASH_CALLEES = frozenset({"stable_hash", "hash_fraction", "result_key"})
+
+_MAX_TRACE = 12
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Abstract taint of one expression.
+
+    ``sources`` holds the category constants above; ``trace`` the
+    provenance chain rendered into findings; ``fields`` the instance
+    attributes the taint flowed through (drives REP606).
+    """
+
+    sources: frozenset = frozenset()
+    trace: tuple = ()
+    fields: frozenset = frozenset()
+
+    def __bool__(self) -> bool:
+        return bool(self.sources)
+
+    def merged(self, *others: "Taint") -> "Taint":
+        sources = set(self.sources)
+        trace = list(self.trace)
+        fields = set(self.fields)
+        for other in others:
+            sources |= other.sources
+            for step in other.trace:
+                if step not in trace:
+                    trace.append(step)
+            fields |= other.fields
+        return Taint(frozenset(sources), tuple(trace[:_MAX_TRACE]),
+                     frozenset(fields))
+
+    def without_order(self, why: str) -> "Taint":
+        kept = self.sources - ORDER_CATS
+        if kept == self.sources:
+            return self
+        if not kept:
+            return CLEAN
+        return Taint(kept, (*self.trace[:_MAX_TRACE - 1], why),
+                     self.fields)
+
+
+CLEAN = Taint()
+
+
+def _source(cat: str, step: str) -> Taint:
+    return Taint(frozenset({cat}), (step,))
+
+
+def _merge(taints) -> Taint:
+    taints = [t for t in taints if t]
+    if not taints:
+        return CLEAN
+    return taints[0].merged(*taints[1:])
+
+
+def _sink_kind(fn_name: str) -> str | None:
+    if fn_name in CANONICAL_SINKS:
+        return "canonical"
+    if fn_name in ADDRESS_SINKS:
+        return "address"
+    return None
+
+
+# -- interprocedural summaries -----------------------------------------------
+
+class _ProjectTaints:
+    """Per-function return-taint summaries over the whole tree.
+
+    Calls resolve like the COMM ``ProjectIndex``: candidates in the
+    *same module* win (all of them, merged -- method names repeat
+    across classes); otherwise a unique global name match; otherwise
+    the callee stays clean.  Summaries treat parameters and ``self``
+    attributes as clean, so they capture taint the callee *introduces*,
+    never taint it merely passes through -- that flow is the caller's.
+    """
+
+    def __init__(self, modules: list[ModuleInfo]) -> None:
+        self.aliases: dict[str, dict[str, str]] = {}
+        self.globals: dict[str, dict[str, Taint]] = {}
+        self._functions: dict[str, list[tuple[str, ast.AST]]] = {}
+        self._modules: dict[str, ModuleInfo] = {}
+        self._memo: dict[tuple[str, int], Taint] = {}
+        self._active: set[tuple[str, int]] = set()
+        for module in modules:
+            self._modules[module.relpath] = module
+            self.aliases[module.relpath] = import_aliases(module.tree)
+            for fn in walk_functions(module.tree):
+                self._functions.setdefault(fn.name, []).append(
+                    (module.relpath, fn))
+        # module-level environments come first (no summary resolution,
+        # so there is no cycle with the function summaries below)
+        for module in modules:
+            flow = _TaintFlow(module, self.aliases[module.relpath],
+                              index=None)
+            flow.exec_body(module.tree.body)
+            self.globals[module.relpath] = flow.env
+        # eagerly materialize every summary in deterministic order so
+        # check_module() is read-only and thread-safe afterwards
+        for module in modules:
+            for fn in walk_functions(module.tree):
+                self.summary(module.relpath, fn)
+
+    def call_taint(self, relpath: str, tail: str) -> Taint:
+        candidates = self._functions.get(tail, [])
+        local = [(rel, fn) for rel, fn in candidates if rel == relpath]
+        chosen = local or (candidates if len(candidates) == 1 else [])
+        return _merge(self.summary(rel, fn) for rel, fn in chosen)
+
+    def summary(self, relpath: str, fn: ast.AST) -> Taint:
+        key = (relpath, id(fn))
+        if key in self._memo:
+            return self._memo[key]
+        if key in self._active:
+            return CLEAN
+        self._active.add(key)
+        try:
+            flow = _TaintFlow(self._modules[relpath],
+                              self.aliases[relpath], index=self,
+                              genv=self.globals.get(relpath))
+            flow.exec_body(fn.body)
+            taint = _merge(flow.returned)
+            if taint:
+                taint = Taint(taint.sources,
+                              (*taint.trace[:_MAX_TRACE - 1],
+                               f"returned by {fn.name}() "
+                               f"({relpath}:{fn.lineno})"),
+                              frozenset())
+        finally:
+            self._active.discard(key)
+        self._memo[key] = taint
+        return taint
+
+    def fingerprint(self) -> str:
+        table = sorted(
+            (rel, fn.name, fn.lineno,
+             sorted(self._memo[(rel, id(fn))].sources),
+             list(self._memo[(rel, id(fn))].trace))
+            for cands in self._functions.values()
+            for rel, fn in cands)
+        return stable_hash(table)
+
+
+# -- the flow interpreter ----------------------------------------------------
+
+class _TaintFlow:
+    """Statement-ordered taint interpretation of one body.
+
+    Three uses share it: module-level environments (``index=None``,
+    known tables only), function summaries (collect ``returned``), and
+    the reporting pass (``sink`` wired up).  ``attrs`` carries the
+    enclosing class's attribute taints; when ``collect_attrs`` is set,
+    ``self.X = tainted`` assignments are recorded there instead of
+    findings being emitted.
+    """
+
+    def __init__(self, module: ModuleInfo, aliases: dict[str, str], *,
+                 index: "_ProjectTaints | None",
+                 genv: dict[str, Taint] | None = None,
+                 attrs: dict[str, Taint] | None = None,
+                 collect_attrs: bool = False,
+                 sink=None) -> None:
+        self.module = module
+        self.aliases = aliases
+        self.index = index
+        self.env: dict[str, Taint] = dict(genv or {})
+        self.attrs = attrs if attrs is not None else {}
+        self.collect_attrs = collect_attrs
+        self.sink = sink
+        self.returned: list[Taint] = []
+
+    def _at(self, node: ast.AST) -> str:
+        return f"{self.module.relpath}:{getattr(node, 'lineno', 0)}"
+
+    # -- statements ----------------------------------------------------------
+
+    def exec_body(self, body) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Import, ast.ImportFrom,
+                             ast.Global, ast.Nonlocal, ast.Pass)):
+            return
+        if isinstance(stmt, ast.Assign):
+            taint = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taint)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                prior = self.env.get(stmt.target.id, CLEAN)
+                self.env[stmt.target.id] = prior.merged(taint)
+            else:
+                self._bind(stmt.target, taint)
+        elif isinstance(stmt, ast.Return):
+            taint = (self.eval(stmt.value)
+                     if stmt.value is not None else CLEAN)
+            self.returned.append(taint)
+            if self.sink is not None:
+                self.sink.on_return(stmt, taint)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taint = self.eval(stmt.iter)
+            for name in _target_names(stmt.target):
+                self.env[name] = taint
+            self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taint)
+            self.exec_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_body(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_body(handler.body)
+            self.exec_body(stmt.orelse)
+            self.exec_body(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test)
+        elif isinstance(stmt, (ast.Delete, ast.Match)):
+            pass
+
+    def _bind(self, target: ast.AST, taint: Taint) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taint
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, taint)
+            return
+        if isinstance(target, ast.Starred):
+            self._bind(target.value, taint)
+            return
+        attr = _self_attr(target)
+        if attr is not None:
+            if self.collect_attrs and taint:
+                step = (f"assigned to self.{attr} "
+                        f"({self._at(target)})")
+                tagged = Taint(taint.sources,
+                               (*taint.trace[:_MAX_TRACE - 1], step),
+                               frozenset({attr}))
+                self.attrs[attr] = self.attrs.get(attr,
+                                                  CLEAN).merged(tagged)
+            return
+        if isinstance(target, ast.Subscript):
+            # d[k] = tainted: the container accumulates the taint
+            base = target.value
+            if isinstance(base, ast.Name):
+                prior = self.env.get(base.id, CLEAN)
+                self.env[base.id] = prior.merged(taint)
+            else:
+                attr = _self_attr(base)
+                if attr is not None and self.collect_attrs and taint:
+                    self.attrs[attr] = self.attrs.get(
+                        attr, CLEAN).merged(taint)
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval(self, node: ast.AST) -> Taint:  # noqa: C901
+        if isinstance(node, ast.Constant):
+            return CLEAN
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, CLEAN)
+        if isinstance(node, ast.Attribute):
+            name = canonical_name(node, self.aliases)
+            if name == "os.environ":
+                return _source(ENV, f"os.environ ({self._at(node)})")
+            attr = _self_attr(node)
+            if attr is not None and attr in self.attrs:
+                return self.attrs[attr]
+            return self.eval(node.value)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, (ast.Set,)):
+            inner = _merge(self.eval(e) for e in node.elts)
+            return inner.merged(_source(
+                SET_ORDER, f"set literal ({self._at(node)})"))
+        if isinstance(node, ast.SetComp):
+            inner = self._eval_comp(node)
+            return inner.merged(_source(
+                SET_ORDER, f"set comprehension ({self._at(node)})"))
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            return self._eval_comp(node)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return _merge(self.eval(e) for e in node.elts)
+        if isinstance(node, ast.Dict):
+            parts = [self.eval(k) for k in node.keys if k is not None]
+            parts += [self.eval(v) for v in node.values]
+            return _merge(parts)
+        if isinstance(node, ast.BinOp):
+            return _merge((self.eval(node.left),
+                           self.eval(node.right)))
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.BoolOp):
+            return _merge(self.eval(v) for v in node.values)
+        if isinstance(node, ast.Compare):
+            # a comparison yields a bool: order taints cannot survive,
+            # value taints (t > deadline) do
+            taint = _merge((self.eval(node.left),
+                            *(self.eval(c) for c in node.comparators)))
+            return taint.without_order("comparison result "
+                                       f"({self._at(node)})")
+        if isinstance(node, ast.IfExp):
+            return _merge((self.eval(node.test), self.eval(node.body),
+                           self.eval(node.orelse)))
+        if isinstance(node, ast.JoinedStr):
+            return _merge(self.eval(v.value) for v in node.values
+                          if isinstance(v, ast.FormattedValue))
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value)
+        if isinstance(node, ast.Subscript):
+            return _merge((self.eval(node.value),
+                           self.eval(node.slice)))
+        if isinstance(node, ast.Slice):
+            return _merge(self.eval(p) for p in
+                          (node.lower, node.upper, node.step)
+                          if p is not None)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self.eval(node.value)
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                self.eval(node.value)
+            return CLEAN
+        if isinstance(node, ast.Lambda):
+            return CLEAN
+        if isinstance(node, ast.NamedExpr):
+            taint = self.eval(node.value)
+            self._bind(node.target, taint)
+            return taint
+        return CLEAN
+
+    def _eval_comp(self, node) -> Taint:
+        parts = []
+        for gen in node.generators:
+            taint = self.eval(gen.iter)
+            for name in _target_names(gen.target):
+                self.env[name] = taint
+            parts.append(taint)
+            parts.extend(self.eval(c) for c in gen.ifs)
+        if isinstance(node, ast.DictComp):
+            parts.append(self.eval(node.key))
+            parts.append(self.eval(node.value))
+        else:
+            parts.append(self.eval(node.elt))
+        return _merge(parts)
+
+    def _eval_call(self, node: ast.Call) -> Taint:  # noqa: C901
+        args = [self.eval(a) for a in node.args]
+        args += [self.eval(kw.value) for kw in node.keywords]
+        arg_taint = _merge(args)
+        name = canonical_name(node.func, self.aliases) or ""
+        if isinstance(node.func, ast.Attribute):
+            tail = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            tail = node.func.id
+        else:
+            tail = name.rsplit(".", 1)[-1]
+        at = self._at(node)
+
+        source = self._call_source(node, name, tail, at)
+        if source is not None:
+            return arg_taint.merged(source)
+
+        if tail in HASH_CALLEES and self.sink is not None and arg_taint:
+            self.sink.on_hash_call(node, tail, arg_taint)
+
+        if not isinstance(node.func, ast.Attribute):
+            if tail == "sorted":
+                return self._eval_sorted(node, args, at)
+            if tail in ORDER_CLEARING:
+                return arg_taint.without_order(f"{tail}() ({at})")
+            if tail in PRESERVING or name in PRESERVING:
+                return arg_taint
+            if tail in PROPAGATING_CTORS or name in PROPAGATING_CTORS:
+                return arg_taint
+            if self.index is not None and isinstance(node.func,
+                                                     ast.Name):
+                return self.index.call_taint(self.module.relpath, tail)
+            return CLEAN
+
+        # attribute call: a method transforms its receiver's data, so
+        # receiver and argument taints flow through by default
+        if name in PRESERVING:
+            return arg_taint
+        receiver = self.eval(node.func.value)
+        if tail in ORDER_SENSITIVE_METHODS:
+            consumed = receiver.merged(arg_taint)
+            if self.sink is not None and (consumed.sources
+                                          & ORDER_CATS):
+                self.sink.on_order_sensitive(node, tail, consumed)
+            return consumed
+        if tail == "sort" and isinstance(node.func.value, ast.Name):
+            base = node.func.value.id
+            if base in self.env:
+                self.env[base] = self.env[base].without_order(
+                    f".sort() ({at})")
+            return CLEAN
+        if tail in ORDER_CLEARING:
+            return receiver.merged(arg_taint).without_order(
+                f".{tail}() ({at})")
+        if tail in _MUTATORS and isinstance(node.func.value, ast.Name):
+            base = node.func.value.id
+            prior = self.env.get(base, CLEAN)
+            self.env[base] = prior.merged(arg_taint)
+            return CLEAN
+        summary = CLEAN
+        if self.index is not None:
+            summary = self.index.call_taint(self.module.relpath, tail)
+        return receiver.merged(arg_taint, summary)
+
+    def _call_source(self, node: ast.Call, name: str, tail: str,
+                     at: str) -> Taint | None:
+        if name in WALL_CLOCKS:
+            return _source(WALL, f"{name}() ({at})")
+        if name in ENV_CALLS:
+            return _source(ENV, f"{name}() ({at})")
+        if name in FS_ORDER_CALLS:
+            return _source(FS_ORDER, f"{name}() ({at})")
+        if (name in THREAD_ORDER_CALLS
+                or tail in THREAD_ORDER_METHODS):
+            return _source(THREAD_ORDER, f"{name or tail}() ({at})")
+        if tail in FS_ORDER_METHODS and "." in name:
+            return _source(FS_ORDER, f".{tail}() ({at})")
+        if isinstance(node.func, ast.Name):
+            if tail == "id":
+                return _source(IDENT, f"id() ({at})")
+            if tail == "hash":
+                return _source(IDENT, f"hash() ({at})")
+            if tail in {"set", "frozenset"}:
+                return _source(SET_ORDER, f"{tail}() ({at})")
+        if name.startswith("numpy.random.") and \
+                name.rsplit(".", 1)[-1] in NP_GLOBAL_FNS:
+            return _source(RNG, f"{name}() ({at})")
+        if name.startswith("random.") and \
+                name.rsplit(".", 1)[-1] in PY_RANDOM_FNS:
+            return _source(RNG, f"{name}() ({at})")
+        if name in {"numpy.random.default_rng", "random.Random"} and \
+                not node.args and not node.keywords:
+            return _source(RNG, f"unseeded {name}() ({at})")
+        return None
+
+    def _eval_sorted(self, node: ast.Call, args: list[Taint],
+                     at: str) -> Taint:
+        arg_taint = _merge(args)
+        for kw in node.keywords:
+            if kw.arg == "key" and _expr_has_source(kw.value,
+                                                    self.aliases):
+                return arg_taint.merged(_source(
+                    IDENT, f"sorted() key is itself "
+                           f"nondeterministic ({at})"))
+        return arg_taint.without_order(f"sorted() ({at})")
+
+
+def _target_names(target: ast.AST) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and \
+            node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _expr_has_source(node: ast.AST, aliases: dict[str, str]) -> bool:
+    """Does a sort-key expression read a nondeterministic source?"""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        name = canonical_name(sub.func, aliases) or ""
+        tail = name.rsplit(".", 1)[-1]
+        if name in WALL_CLOCKS or name in ENV_CALLS:
+            return True
+        if isinstance(sub.func, ast.Name) and tail in {"id", "hash"}:
+            return True
+        if name.startswith("random.") and tail in PY_RANDOM_FNS:
+            return True
+        if name.startswith("numpy.random.") and tail in NP_GLOBAL_FNS:
+            return True
+    return False
+
+
+# -- the rule ----------------------------------------------------------------
+
+class _SinkReporter:
+    """Receives taint events from the flow and turns them into findings."""
+
+    def __init__(self, rule: "ReproducibilityTaintRule",
+                 module: ModuleInfo, out: Collector,
+                 fn_name: str | None, sink_kind: str | None,
+                 model: bool) -> None:
+        self.rule = rule
+        self.module = module
+        self.out = out
+        self.fn_name = fn_name
+        self.sink_kind = sink_kind
+        self.model = model
+        self._seen: set[tuple[int, str]] = set()
+
+    def _emit(self, node: ast.AST, rid: str, message: str,
+              taint: Taint, *, severity: Severity | None = None) -> None:
+        key = (node.lineno, rid)
+        if key in self._seen or not self.rule.emits(rid):
+            return
+        self._seen.add(key)
+        self.out.add(self.rule, self.module.relpath, node.lineno,
+                     message, rule_id=rid,
+                     severity=severity or ID_SEVERITY[rid],
+                     trace=list(taint.trace))
+
+    def on_return(self, node: ast.Return, taint: Taint) -> None:
+        if not taint:
+            return
+        if self.sink_kind is not None:
+            self._report_sink(node, taint,
+                              f"{self.sink_kind} sink "
+                              f"'{self.fn_name}' returns")
+        elif self.model and WALL in taint.sources:
+            self._emit(node, "REP603",
+                       f"model function '{self.fn_name}' returns a "
+                       f"wall-clock-tainted value; outside a volatile "
+                       f"block this makes reruns diverge",
+                       taint, severity=Severity.WARNING)
+
+    def on_hash_call(self, node: ast.Call, callee: str,
+                     taint: Taint) -> None:
+        self._report_sink(node, taint,
+                          f"content-address hash {callee}() consumes",
+                          address=True)
+
+    def on_order_sensitive(self, node: ast.Call, callee: str,
+                           taint: Taint) -> None:
+        self._emit(node, "REP602",
+                   f"order-sensitive consumer .{callee}() receives "
+                   f"data whose iteration order depends on "
+                   f"{', '.join(sorted(taint.sources & ORDER_CATS))}; "
+                   f"its output order is PYTHONHASHSEED-dependent",
+                   taint)
+
+    def _report_sink(self, node: ast.AST, taint: Taint,
+                     what: str, *, address: bool = False) -> None:
+        address = address or self.sink_kind == "address"
+        if taint.fields and (taint.sources & VALUE_CATS):
+            fields = ", ".join(sorted(taint.fields))
+            self._emit(node, "REP606",
+                       f"{what} instance attribute(s) {fields} "
+                       f"assigned from a nondeterministic source; "
+                       f"declare them in the volatile block",
+                       taint)
+            remaining = taint.sources - VALUE_CATS
+        else:
+            remaining = taint.sources
+        emitted: set[str] = set()
+        for cat in sorted(remaining):
+            rid = _CAT_RULE[cat]
+            if rid == "REP604" and not address:
+                rid = "REP601"
+            if rid in emitted:
+                continue
+            emitted.add(rid)
+            self._emit(node, rid,
+                       f"{what} a value tainted by {cat}; the "
+                       f"exported bytes are not reproducible",
+                       taint)
+
+
+class ReproducibilityTaintRule(Rule):
+    """REP601..REP606: nondeterminism-taint over canonical exports."""
+
+    id = "REP601"
+    ids = ("REP602", "REP603", "REP604", "REP605", "REP606")
+    name = "reproducibility-taint"
+    severity = Severity.ERROR
+    description = ID_DESCRIPTIONS["REP601"]
+    scope = "local"
+
+    def __init__(self) -> None:
+        self._index: _ProjectTaints | None = None
+        self._fingerprint = ""
+
+    def descriptors(self) -> list[dict]:
+        return [{"id": rid, "name": f"{self.name}-{rid[-3:]}",
+                 "description": ID_DESCRIPTIONS[rid],
+                 "severity": ID_SEVERITY[rid]}
+                for rid in sorted(ID_SEVERITY)]
+
+    def applies_to(self, relpath: str) -> bool:
+        # the analyzer's own code talks *about* taint, not with it
+        return "check/" not in relpath
+
+    def prepare(self, ctx: ProjectContext) -> None:
+        modules = [m for m in ctx.modules
+                   if self.applies_to(m.relpath)]
+        self._index = _ProjectTaints(modules)
+        self._fingerprint = self._index.fingerprint()
+
+    def cache_fingerprint(self) -> str:
+        return self._fingerprint
+
+    def check_module(self, module: ModuleInfo, out: Collector) -> None:
+        index = self._index
+        if index is None or module.relpath not in index.aliases:
+            index = _ProjectTaints([module])
+        aliases = index.aliases[module.relpath]
+        genv = index.globals.get(module.relpath, {})
+        model = _model_scope(module.relpath)
+
+        # module level: hash-callee and order-sensitive sinks only
+        reporter = _SinkReporter(self, module, out, None, None, False)
+        flow = _TaintFlow(module, aliases, index=index, sink=reporter)
+        flow.exec_body(module.tree.body)
+
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+                self._check_function(stmt, module, out, aliases,
+                                     index, genv, model, attrs={})
+            elif isinstance(stmt, ast.ClassDef):
+                self._check_class(stmt, module, out, aliases, index,
+                                  genv, model)
+
+    def _check_class(self, cls: ast.ClassDef, module: ModuleInfo,
+                     out: Collector, aliases, index, genv,
+                     model: bool) -> None:
+        methods = [n for n in cls.body
+                   if isinstance(n, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef))]
+        # pass 1: collect self-attribute taints across all methods
+        attrs: dict[str, Taint] = {}
+        for fn in methods:
+            flow = _TaintFlow(module, aliases, index=index, genv=genv,
+                              attrs=attrs, collect_attrs=True)
+            flow.exec_body(fn.body)
+        # pass 2: report, with the attribute channel visible
+        for fn in methods:
+            self._check_function(fn, module, out, aliases, index,
+                                 genv, model, attrs=attrs)
+
+    def _check_function(self, fn, module: ModuleInfo, out: Collector,
+                        aliases, index, genv, model: bool,
+                        *, attrs: dict[str, Taint]) -> None:
+        reporter = _SinkReporter(self, module, out, fn.name,
+                                 _sink_kind(fn.name), model)
+        flow = _TaintFlow(module, aliases, index=index, genv=genv,
+                          attrs=attrs, sink=reporter)
+        flow.exec_body(fn.body)
+        for nested in fn.body:
+            if isinstance(nested, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                self._check_function(nested, module, out, aliases,
+                                     index, genv, model, attrs=attrs)

@@ -459,7 +459,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
     elif args.format == "json":
         out = chk.render_json(report, strict=args.strict)
     else:
-        out = chk.render_human(report, strict=args.strict)
+        out = chk.render_human(report, strict=args.strict,
+                               explain=args.explain)
     if args.output:
         Path(args.output).write_text(out, encoding="utf-8")
         print(f"check: report -> {args.output}")
@@ -864,6 +865,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="fail on suppressions/baseline entries without "
                         "a justification")
+    p.add_argument("--explain", default=None, metavar="RULE",
+                   help="print the inference trace of every finding "
+                        "of RULE (e.g. REP602, UNIT304) inline in the "
+                        "human report; traces always ship in "
+                        "json/sarif output")
     p.add_argument("--no-runtime", action="store_true",
                    help="skip the runtime contract verification pass")
     p.add_argument("--sanitize", action="store_true",

@@ -153,7 +153,9 @@ def resolve(sets: Iterable[ParameterSet],
         for p in pset.parameters:
             if p.active(active_tags):
                 chosen[p.name] = p
-    graph = {name: p.references() & chosen.keys()
+    # sorted predecessor lists keep static_order() independent of
+    # PYTHONHASHSEED, so the resolved dict's key order is reproducible
+    graph = {name: sorted(p.references() & chosen.keys())
              for name, p in chosen.items()}
     try:
         order = list(TopologicalSorter(graph).static_order())

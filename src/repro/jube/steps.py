@@ -102,7 +102,9 @@ def step_order(steps: Iterable[Step]) -> list[Step]:
             if dep not in by_name:
                 raise StepError(
                     f"step {s.name!r} depends on unknown step {dep!r}")
-    graph = {s.name: set(s.depends) for s in by_name.values()}
+    # sorted predecessor lists keep static_order() (and thus the
+    # returned step order) independent of PYTHONHASHSEED
+    graph = {s.name: sorted(set(s.depends)) for s in by_name.values()}
     try:
         order = list(TopologicalSorter(graph).static_order())
     except CycleError as exc:

@@ -5,13 +5,13 @@ import time
 
 def justified():
     # repro: allow(DET001): startup banner only, never cached
-    return time.time()
+    t = time.time()
 
 
 def unjustified():
-    return time.time()  # repro: allow(DET001)
+    t = time.time()  # repro: allow(DET001)
 
 
 def wildcard():
     # repro: allow(*): demo site
-    return time.time()
+    t = time.time()

@@ -1,0 +1,41 @@
+"""Clean control: every source appears, every flow is sanitized.
+
+Sets are sorted before serialization, the RNG is content-seeded, the
+pool collects in submission order (``pool.map``), the environment read
+lands in a volatile dict that never reaches the canonical form, and
+the timestamp stays inside the volatile block.
+
+Runnable oracle: byte-identical across reruns, worker counts and
+``PYTHONHASHSEED`` values.
+"""
+
+import json
+import os
+import random
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+
+def _unit(i):
+    return i * i
+
+
+def canonical_export(workers):
+    tags = {"arbor", "chroma", "icon", "juqcs", "nekrs", "parflow",
+            "picongpu", "soma", "stream", "turbulence"}
+    rng = random.Random(2024)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        squares = list(pool.map(_unit, range(8)))
+    volatile = {
+        "hash_seed": os.environ.get("PYTHONHASHSEED", ""),
+        "exported_ns": time.time_ns(),
+    }
+    del volatile  # provenance only; never part of the canonical form
+    doc = {"tags": sorted(tags), "draw": rng.random(),
+           "squares": squares}
+    return json.dumps(doc, sort_keys=True)
+
+
+if __name__ == "__main__":
+    print(canonical_export(int(sys.argv[1])))

@@ -1,0 +1,20 @@
+"""REP601 fixture: environment + string-hash identity reach canonical().
+
+Runnable oracle: ``python rep601_env.py`` prints the canonical bytes;
+flipping ``PYTHONHASHSEED`` (or the variable itself) changes them.
+"""
+
+import json
+import os
+
+
+def canonical():
+    return {
+        "benchmark": "fixture",
+        "hash_seed": os.environ.get("PYTHONHASHSEED", ""),
+        "token": hash("jupiter-benchmark-suite"),
+    }
+
+
+if __name__ == "__main__":
+    print(json.dumps(canonical(), sort_keys=True))

@@ -1,0 +1,17 @@
+"""REP602 fixture: set iteration order reaches canonical_export().
+
+Runnable oracle: the joined string follows the set's hash-seeded
+iteration order, so different ``PYTHONHASHSEED`` values produce
+different bytes (16 strings make a collision across seeds unlikely).
+"""
+
+
+def canonical_export():
+    tags = {"arbor", "chroma", "gromacs", "icon", "juqcs", "mptrac",
+            "nanoria", "nekrs", "parflow", "picongpu", "quantum",
+            "soma", "stream", "turbulence", "waves", "xcompact"}
+    return ",".join(tags)
+
+
+if __name__ == "__main__":
+    print(canonical_export())

@@ -1,0 +1,16 @@
+"""REP603 fixture: a wall-clock reading reaches canonical().
+
+Runnable oracle: two back-to-back runs print different bytes because
+``time.time_ns()`` never repeats.
+"""
+
+import json
+import time
+
+
+def canonical():
+    return {"benchmark": "fixture", "generated_ns": time.time_ns()}
+
+
+if __name__ == "__main__":
+    print(json.dumps(canonical(), sort_keys=True))

@@ -1,0 +1,27 @@
+"""REP604 fixture: process-global RNG reaches a content-address hash.
+
+``stable_hash`` is a local stand-in for ``repro.exec.cache.stable_hash``
+(the fixture must run without the package on the path); the rule's
+sink recognition is name-based, so the taint verdict is identical.
+
+Runnable oracle: two runs draw different jitter from the unseeded
+global Mersenne state, so the printed address differs every time.
+"""
+
+import hashlib
+import json
+import random
+
+
+def stable_hash(obj):
+    payload = json.dumps(obj, sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def record_key():
+    jitter = random.random()
+    return stable_hash({"benchmark": "fixture", "jitter": jitter})
+
+
+if __name__ == "__main__":
+    print(record_key())

@@ -1,0 +1,30 @@
+"""REP605 fixture: thread-completion order reaches canonical_export().
+
+Runnable oracle: tasks sleep in *reverse* submission order, so with one
+worker ``as_completed`` yields submission order while with eight
+workers it yields reverse order -- the bytes differ deterministically
+between ``workers=1`` and ``workers=8``.
+"""
+
+import json
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+
+
+def _unit(i):
+    time.sleep((8 - i) * 0.02)
+    return i
+
+
+def canonical_export(workers):
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_unit, i) for i in range(8)]
+        results = []
+        for fut in as_completed(futures):
+            results.append(fut.result())
+    return json.dumps(results)
+
+
+if __name__ == "__main__":
+    print(canonical_export(int(sys.argv[1])))

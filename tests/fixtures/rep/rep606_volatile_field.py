@@ -1,0 +1,26 @@
+"""REP606 fixture: an undeclared volatile field is serialized.
+
+``started_ns`` is assigned from the wall clock in ``__init__`` and
+read back in ``canonical()`` -- volatile in all but name, but never
+declared in a volatile block.
+
+Runnable oracle: two runs construct records at different instants, so
+the canonical bytes differ.
+"""
+
+import json
+import time
+
+
+class Record:
+    def __init__(self):
+        self.benchmark = "fixture"
+        self.started_ns = time.time_ns()
+
+    def canonical(self):
+        return {"benchmark": self.benchmark,
+                "started_ns": self.started_ns}
+
+
+if __name__ == "__main__":
+    print(json.dumps(Record().canonical(), sort_keys=True))

@@ -180,6 +180,30 @@ def regenerate_comm_goldens() -> dict[str, Path]:
     return {"comm_sarif": sarif_path, "comm_json": json_path}
 
 
+def regenerate_rep_goldens() -> dict[str, Path]:
+    """REP6xx snapshots over the reproducibility-taint fixtures.
+
+    The fixture tree is analyzed with only the REP family enabled, so
+    the goldens isolate the taint verdicts and their inference traces.
+    The same fixtures feed the differential oracle
+    (``tests/test_check_rep_differential.py``), which runs each one as
+    a subprocess and asserts genuine byte-divergence (reruns, worker
+    counts, ``PYTHONHASHSEED``) for every tainted fixture and byte
+    identity for the clean control.
+    """
+    from repro.check import Analyzer, render_json, render_sarif
+    from repro.check.rules import expand_rule_prefixes
+
+    fixtures = Path(__file__).parent / "fixtures" / "rep"
+    report = Analyzer(only=expand_rule_prefixes(["REP"])).run(
+        fixtures, rel_base=fixtures)
+    sarif_path = GOLDEN_DIR / "rep_fixture.sarif"
+    sarif_path.write_text(render_sarif(report))
+    json_path = GOLDEN_DIR / "rep_fixture.json"
+    json_path.write_text(render_json(report, strict=True))
+    return {"rep_sarif": sarif_path, "rep_json": json_path}
+
+
 def regenerate() -> dict[str, Path]:
     from repro.core import load_suite
     from repro.vmpi import default_mode
@@ -227,7 +251,8 @@ def regenerate() -> dict[str, Path]:
             "telemetry_chrome": chrome_path,
             **regenerate_chaos_goldens(),
             **regenerate_check_goldens(),
-            **regenerate_comm_goldens()}
+            **regenerate_comm_goldens(),
+            **regenerate_rep_goldens()}
 
 
 if __name__ == "__main__":

@@ -24,7 +24,7 @@ def test_baseline_round_trip(tmp_path):
     tree = tmp_path / "apps"
     tree.mkdir()
     (tree / "model.py").write_text(
-        "import time\n\n\ndef run():\n    return time.time()\n")
+        "import time\n\n\ndef run():\n    t = time.time()\n")
 
     first = Analyzer().run(tmp_path, rel_base=tmp_path)
     assert [f.rule for f in first.active] == ["DET001"]
@@ -47,13 +47,13 @@ def test_baseline_survives_line_shifts(tmp_path):
     tree = tmp_path / "apps"
     tree.mkdir()
     src = tree / "model.py"
-    src.write_text("import time\n\n\ndef run():\n    return time.time()\n")
+    src.write_text("import time\n\n\ndef run():\n    t = time.time()\n")
     first = Analyzer().run(tmp_path, rel_base=tmp_path)
     baseline = Baseline.from_findings(first.active, justification="ok")
 
     # insert unrelated lines above the finding
     src.write_text("import time\n\nX = 1\nY = 2\n\n\ndef run():\n"
-                   "    return time.time()\n")
+                   "    t = time.time()\n")
     second = Analyzer(baseline=baseline).run(tmp_path, rel_base=tmp_path)
     assert not second.active
     assert len(second.baselined) == 1
@@ -106,7 +106,7 @@ def test_suppression_only_covers_named_rule(tmp_path):
         "import time\nimport numpy as np\n\n\ndef run():\n"
         "    # repro: allow(DET001): timing demo\n"
         "    t = time.time()\n"
-        "    return t, np.random.default_rng()\n")
+        "    return np.random.default_rng()\n")
     report = Analyzer().run(tmp_path, rel_base=tmp_path)
     # the DET002 on the next line is NOT covered by the DET001 allow
     assert [f.rule for f in report.active] == ["DET002"]
@@ -121,8 +121,8 @@ def test_suppression_on_multiline_statement(tmp_path):
     (tree / "model.py").write_text(
         "import time\n\n\ndef run():\n"
         "    # repro: allow(DET001): demo timing\n"
-        "    return (time.time()\n"
-        "            + 0.0)\n")
+        "    t = (time.time()\n"
+        "         + 0.0)\n")
     report = Analyzer().run(tmp_path, rel_base=tmp_path)
     assert not report.active
     assert [f.justification for f in report.suppressed] == \
@@ -151,7 +151,7 @@ def _dirty_tree(tmp_path):
     tree = tmp_path / "apps"
     tree.mkdir()
     (tree / "a.py").write_text(
-        "import time\n\n\ndef run():\n    return time.time()\n")
+        "import time\n\n\ndef run():\n    t = time.time()\n")
     (tree / "b.py").write_text(
         "def f(elapsed, nbytes):\n    return elapsed + nbytes\n")
     (tree / "c.py").write_text("X = 1\n")

@@ -1,0 +1,126 @@
+"""Differential oracle for the REP6xx fixtures.
+
+The static claim behind every REP id is that the flagged pattern makes
+canonical bytes diverge in practice.  This suite proves it: each
+tainted fixture under ``tests/fixtures/rep/`` is executed as a
+subprocess under the perturbation its rule id predicts sensitivity to
+-- rerun, ``PYTHONHASHSEED`` flip, worker count -- and the outputs
+must differ at the byte level.  The clean control runs under *all*
+perturbations at once and must stay byte-identical.
+
+Together with the static half (``test_static_verdict_matches_oracle``)
+this closes the loop: a fixture is flagged if and only if it actually
+diverges.
+"""
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.check import Analyzer
+from repro.check.rules import expand_rule_prefixes
+
+FIXTURES = Path(__file__).parent / "fixtures" / "rep"
+REP_RULES = expand_rule_prefixes(["REP"])
+
+
+def run_fixture(name, *argv, hashseed=None):
+    """Run a fixture as ``__main__`` and return its stdout bytes."""
+    env = {"PYTHONHASHSEED": str(hashseed)} if hashseed is not None \
+        else {"PYTHONHASHSEED": "0"}
+    proc = subprocess.run(
+        [sys.executable, str(FIXTURES / name), *map(str, argv)],
+        capture_output=True, env=env, timeout=60)
+    assert proc.returncode == 0, proc.stderr.decode()
+    return proc.stdout
+
+
+# -- every tainted fixture genuinely diverges --------------------------------
+
+def test_rep601_diverges_across_hash_seeds():
+    a = run_fixture("rep601_env.py", hashseed=1)
+    b = run_fixture("rep601_env.py", hashseed=2)
+    assert a != b
+
+
+def test_rep602_set_order_diverges_across_hash_seeds():
+    outputs = {run_fixture("rep602_set_order.py", hashseed=seed)
+               for seed in range(8)}
+    # 16 strings in the set: essentially every seed permutes them
+    assert len(outputs) >= 2
+
+
+def test_rep603_wall_clock_diverges_across_reruns():
+    a = run_fixture("rep603_wall_clock.py")
+    time.sleep(0.01)
+    b = run_fixture("rep603_wall_clock.py")
+    assert a != b
+
+
+def test_rep604_global_rng_diverges_across_reruns():
+    a = run_fixture("rep604_global_rng.py")
+    b = run_fixture("rep604_global_rng.py")
+    assert a != b
+
+
+def test_rep605_diverges_with_worker_count():
+    serial = run_fixture("rep605_thread_order.py", 1)
+    threaded = run_fixture("rep605_thread_order.py", 8)
+    # per-unit sleeps are staggered so 8 workers complete in reverse
+    # submission order; with 1 worker as_completed yields FIFO
+    assert serial != threaded
+
+
+def test_rep606_volatile_field_diverges_across_reruns():
+    a = run_fixture("rep606_volatile_field.py")
+    time.sleep(0.01)
+    b = run_fixture("rep606_volatile_field.py")
+    assert a != b
+
+
+# -- the clean control survives every perturbation at once -------------------
+
+def test_clean_control_is_byte_identical():
+    outputs = {
+        run_fixture("clean_control.py", workers, hashseed=seed)
+        for seed in (0, 1, 2)
+        for workers in (1, 8)
+    }
+    outputs.add(run_fixture("clean_control.py", 4, hashseed=1))  # rerun
+    assert len(outputs) == 1
+
+
+# -- static verdicts match the dynamic oracle --------------------------------
+
+EXPECTED = {
+    "rep601_env.py": "REP601",
+    "rep602_set_order.py": "REP602",
+    "rep603_wall_clock.py": "REP603",
+    "rep604_global_rng.py": "REP604",
+    "rep605_thread_order.py": "REP605",
+    "rep606_volatile_field.py": "REP606",
+    "clean_control.py": None,
+}
+
+
+@pytest.fixture(scope="module")
+def report():
+    return Analyzer(only=REP_RULES).run(FIXTURES, rel_base=FIXTURES)
+
+
+@pytest.mark.parametrize("fixture,rule", sorted(EXPECTED.items()))
+def test_static_verdict_matches_oracle(report, fixture, rule):
+    """Flagged iff divergent: the taint pass flags exactly the rule id
+    whose perturbation the fixture dynamically fails under, and stays
+    silent on the control that dynamically holds byte identity."""
+    rules = sorted(f.rule for f in report.active if f.path == fixture)
+    assert rules == ([] if rule is None else [rule])
+
+
+def test_fixture_corpus_is_exhaustive(report):
+    """Every REP id is witnessed by exactly one divergent fixture."""
+    assert sorted(f.rule for f in report.active) == sorted(
+        r for r in EXPECTED.values() if r)

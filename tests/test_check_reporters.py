@@ -105,6 +105,53 @@ def test_json_findings_carry_dimension_traces(report):
     assert det and all("trace" not in f for f in det)
 
 
+def test_sarif_results_carry_traces(report):
+    """Findings with an inference trace ship it as SARIF properties,
+    so the derivation survives into uploaded artifacts."""
+    doc = json.loads(render_sarif(report))
+    (run,) = doc["runs"]
+    with_trace = [r for r in run["results"] if "properties" in r]
+    assert with_trace
+    for result in with_trace:
+        trace = result["properties"]["trace"]
+        assert trace and all(isinstance(s, str) for s in trace)
+    # traced rules include the dataflow families; DET stays trace-free
+    traced_rules = {r["ruleId"] for r in with_trace}
+    assert traced_rules & {"UNIT301", "UNIT302", "REP603"}
+    assert "DET001" not in traced_rules
+
+
+# -- --explain ---------------------------------------------------------------
+
+def test_explain_prints_inference_trace(report):
+    text = render_human(report, explain="REP603")
+    lines = text.splitlines()
+    trace_lines = [ln for ln in lines if ln.startswith("    trace: ")]
+    assert trace_lines  # the REP603 finding carries its derivation
+    # the trace sits directly under its finding line
+    idx = lines.index(trace_lines[0])
+    assert "REP603" in lines[idx - 1]
+
+
+def test_explain_is_scoped_to_the_named_rule(report):
+    plain = render_human(report)
+    explained = render_human(report, explain="UNIT304")
+    assert len(explained.splitlines()) > len(plain.splitlines())
+    for line in explained.splitlines():
+        if line.startswith("    trace: "):
+            continue
+        assert line in plain.splitlines()
+
+
+def test_explain_on_traceless_rule_says_so(report):
+    text = render_human(report, explain="DET001")
+    assert "(no recorded inference trace)" in text
+
+
+def test_explain_none_changes_nothing(report):
+    assert render_human(report) == render_human(report, explain=None)
+
+
 # -- golden snapshots --------------------------------------------------------
 
 def test_sarif_matches_golden(report):

@@ -1,0 +1,433 @@
+"""Behavioural tests of the REP6xx reproducibility-taint pass.
+
+Each test writes a miniature module into a tmp tree and runs the
+analyzer restricted to the REP family, so the assertions are about the
+taint semantics -- sources, sanitizers, sinks, the interprocedural
+summaries and the attribute channel -- rather than fixture line
+numbers.  Golden snapshots and the whole-repo cleanliness criterion
+ride at the end.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import Analyzer, Severity, load_baseline
+from repro.check.rules import expand_rule_prefixes
+from repro.exec import DiskCache
+
+REP_RULES = expand_rule_prefixes(["REP"])
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).parent / "fixtures" / "rep"
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def run_source(tmp_path, source, *, name="m.py", segment="apps"):
+    tree = tmp_path / segment
+    tree.mkdir(exist_ok=True)
+    (tree / name).write_text(source)
+    return Analyzer(only=REP_RULES).run(tmp_path, rel_base=tmp_path)
+
+
+def rules_of(report):
+    return sorted(f.rule for f in report.active)
+
+
+# -- sources reach sinks -----------------------------------------------------
+
+def test_env_read_in_canonical_is_rep601(tmp_path):
+    report = run_source(tmp_path, (
+        "import os\n\n"
+        "def canonical():\n"
+        "    return {'seed': os.environ.get('PYTHONHASHSEED', '')}\n"))
+    assert rules_of(report) == ["REP601"]
+
+
+def test_string_hash_in_canonical_is_rep601(tmp_path):
+    report = run_source(tmp_path, (
+        "def canonical():\n"
+        "    return hash('token')\n"))
+    assert rules_of(report) == ["REP601"]
+
+
+def test_set_iteration_into_export_is_rep602(tmp_path):
+    report = run_source(tmp_path, (
+        "def canonical_export():\n"
+        "    tags = {'a', 'b', 'c'}\n"
+        "    return ','.join(tags)\n"))
+    assert rules_of(report) == ["REP602"]
+
+
+def test_wall_clock_in_canonical_is_rep603(tmp_path):
+    report = run_source(tmp_path, (
+        "import time\n\n"
+        "def canonical():\n"
+        "    return {'t': time.time_ns()}\n"))
+    assert rules_of(report) == ["REP603"]
+    (finding,) = report.active
+    # wall-clock is WARNING across the family: timing reads are
+    # sometimes legitimate provenance, unlike RNG/identity taints
+    assert finding.severity is Severity.WARNING
+    assert "canonical" in finding.message
+
+
+def test_global_rng_into_stable_hash_is_rep604(tmp_path):
+    report = run_source(tmp_path, (
+        "import random\n\n"
+        "def record_key(stable_hash):\n"
+        "    return stable_hash({'jitter': random.random()})\n"))
+    assert rules_of(report) == ["REP604"]
+
+
+def test_as_completed_accumulation_is_rep605(tmp_path):
+    report = run_source(tmp_path, (
+        "import json\n"
+        "from concurrent.futures import as_completed\n\n"
+        "def canonical_export(futures):\n"
+        "    results = []\n"
+        "    for fut in as_completed(futures):\n"
+        "        results.append(fut.result())\n"
+        "    return json.dumps(results)\n"))
+    assert rules_of(report) == ["REP605"]
+
+
+def test_tainted_attribute_read_in_sink_is_rep606(tmp_path):
+    report = run_source(tmp_path, (
+        "import time\n\n"
+        "class Record:\n"
+        "    def __init__(self):\n"
+        "        self.started = time.time()\n\n"
+        "    def canonical(self):\n"
+        "        return {'started': self.started}\n"))
+    assert rules_of(report) == ["REP606"]
+
+
+def test_order_sensitive_consumer_is_rep602(tmp_path):
+    # the parameters.py/steps.py bug shape this pass caught at HEAD:
+    # set-valued predecessors feed TopologicalSorter.static_order()
+    report = run_source(tmp_path, (
+        "from graphlib import TopologicalSorter\n\n"
+        "def plan(names):\n"
+        "    graph = {n: set(names) for n in names}\n"
+        "    return list(TopologicalSorter(graph).static_order())\n"))
+    assert rules_of(report) == ["REP602"]
+
+
+def test_sorted_predecessors_silence_static_order(tmp_path):
+    report = run_source(tmp_path, (
+        "from graphlib import TopologicalSorter\n\n"
+        "def plan(names):\n"
+        "    graph = {n: sorted(set(names)) for n in names}\n"
+        "    return list(TopologicalSorter(graph).static_order())\n"))
+    assert not report.active
+
+
+# -- model-code wall-clock escapes -------------------------------------------
+
+def test_model_return_of_wall_clock_is_rep603_warning(tmp_path):
+    report = run_source(tmp_path, (
+        "import time\n\n"
+        "def measure(fn):\n"
+        "    t0 = time.perf_counter()\n"
+        "    fn()\n"
+        "    return time.perf_counter() - t0\n"))
+    assert rules_of(report) == ["REP603"]
+    (finding,) = report.active
+    assert finding.severity is Severity.WARNING
+
+
+def test_wall_clock_not_returned_stays_quiet(tmp_path):
+    report = run_source(tmp_path, (
+        "import time\n\n"
+        "def run():\n"
+        "    t = time.time()\n"))
+    assert not report.active  # DET001's jurisdiction, not REP's
+
+
+def test_non_model_segment_return_not_flagged(tmp_path):
+    report = run_source(tmp_path, (
+        "import time\n\n"
+        "def elapsed(t0):\n"
+        "    return time.perf_counter() - t0\n"), segment="telemetry")
+    assert not report.active
+
+
+# -- sanitizers --------------------------------------------------------------
+
+def test_sorted_clears_set_order(tmp_path):
+    report = run_source(tmp_path, (
+        "def canonical_export():\n"
+        "    tags = {'a', 'b', 'c'}\n"
+        "    return ','.join(sorted(tags))\n"))
+    assert not report.active
+
+
+def test_min_max_sum_len_clear_order(tmp_path):
+    report = run_source(tmp_path, (
+        "def canonical():\n"
+        "    s = {3, 1, 2}\n"
+        "    return {'lo': min(s), 'hi': max(s), 'total': sum(s),\n"
+        "            'n': len(s)}\n"))
+    assert not report.active
+
+
+def test_sort_does_not_wash_out_value_taint(tmp_path):
+    report = run_source(tmp_path, (
+        "import time\n\n"
+        "def canonical():\n"
+        "    ts = [time.time(), time.time()]\n"
+        "    return sorted(ts)\n"))
+    assert rules_of(report) == ["REP603"]
+
+
+def test_nondeterministic_sort_key_is_not_a_sanitizer(tmp_path):
+    report = run_source(tmp_path, (
+        "def canonical_export(items):\n"
+        "    tags = set(items)\n"
+        "    return sorted(tags, key=lambda t: id(t))\n"))
+    # the identity key both injects REP601 taint and voids the
+    # order-clearing effect of sorted(), so REP602 survives too
+    assert rules_of(report) == ["REP601", "REP602"]
+
+
+def test_seeded_rng_is_clean(tmp_path):
+    report = run_source(tmp_path, (
+        "import random\n\n"
+        "def canonical():\n"
+        "    rng = random.Random(2024)\n"
+        "    return rng.random()\n"))
+    assert not report.active
+
+
+def test_unseeded_rng_object_taints(tmp_path):
+    report = run_source(tmp_path, (
+        "import random\n\n"
+        "def canonical():\n"
+        "    rng = random.Random()\n"
+        "    return rng.random()\n"))
+    assert rules_of(report) == ["REP601"]
+
+
+def test_volatile_block_pattern_is_clean(tmp_path):
+    # taint handed to an unresolved constructor is the sanctioned
+    # volatile boundary (the RunRecord(volatile=...) contract)
+    report = run_source(tmp_path, (
+        "import os\n"
+        "import time\n\n"
+        "def record(Record):\n"
+        "    return Record(volatile={'t': time.time(),\n"
+        "                            'env': os.environ.get('X')})\n"))
+    assert not report.active
+
+
+def test_membership_test_does_not_carry_order(tmp_path):
+    report = run_source(tmp_path, (
+        "def canonical(name):\n"
+        "    known = {'a', 'b'}\n"
+        "    return {'known': name in known}\n"))
+    assert not report.active
+
+
+# -- interprocedural summaries -----------------------------------------------
+
+def test_taint_crosses_function_boundary(tmp_path):
+    report = run_source(tmp_path, (
+        "import time\n\n"
+        "def _now():\n"
+        "    return time.time()\n\n"
+        "def canonical():\n"
+        "    return {'t': _now()}\n"))
+    rules = rules_of(report)
+    assert "REP603" in rules
+    sink = [f for f in report.active if "canonical" in f.message]
+    assert sink and any("_now" in step for f in sink
+                        for step in f.trace)
+
+
+def test_taint_crosses_module_boundary(tmp_path):
+    tree = tmp_path / "apps"
+    tree.mkdir()
+    (tree / "helper.py").write_text(
+        "import time\n\n"
+        "def wall_stamp():\n"
+        "    return time.time()\n")
+    (tree / "sink.py").write_text(
+        "from .helper import wall_stamp\n\n"
+        "def canonical():\n"
+        "    return {'t': wall_stamp()}\n")
+    report = Analyzer(only=REP_RULES).run(tmp_path, rel_base=tmp_path)
+    assert ("sink.py" in {f.path.split("/")[-1] for f in report.active})
+
+
+def test_unresolved_call_is_quiet_boundary(tmp_path):
+    report = run_source(tmp_path, (
+        "import time\n\n"
+        "def canonical(transform):\n"
+        "    return transform(time.time())\n"))
+    # the Name-call boundary swallows the taint: unknown code is quiet
+    assert not report.active
+
+
+def test_recursion_terminates_clean(tmp_path):
+    report = run_source(tmp_path, (
+        "def canonical(n):\n"
+        "    if n:\n"
+        "        return canonical(n - 1)\n"
+        "    return {'n': 0}\n"))
+    assert not report.active
+
+
+# -- incremental cache: the summary fingerprint ------------------------------
+
+def _two_module_tree(root):
+    tree = root / "apps"
+    tree.mkdir(parents=True, exist_ok=True)
+    (tree / "helper.py").write_text(
+        "def scale():\n    return 2.0\n")
+    (tree / "sink.py").write_text(
+        "from .helper import scale\n\n"
+        "def canonical():\n"
+        "    return {'x': scale()}\n")
+    (tree / "constants.py").write_text("X = 1\n")
+    return tree
+
+
+def test_editing_a_helper_invalidates_dependents(tmp_path):
+    """The load-bearing cache property: making a helper nondeterministic
+    must re-verdict modules that call it, even though their own source
+    is unchanged."""
+    root = tmp_path / "proj"
+    root.mkdir()
+    tree = _two_module_tree(root)
+    cache = DiskCache(tmp_path / "cache")
+    first = Analyzer(only=REP_RULES).run(root, rel_base=root,
+                                         cache=cache)
+    assert not first.active
+
+    (tree / "helper.py").write_text(
+        "import time\n\n\ndef scale():\n    return time.time()\n")
+    second = Analyzer(only=REP_RULES).run(root, rel_base=root,
+                                          cache=cache)
+    # every module re-analyzed: the summary-table fingerprint changed
+    assert second.cache_hits == 0
+    # helper.py returns the clock out of model code (REP603 warning)
+    # and, decisively, sink.py -- whose source did NOT change -- now
+    # carries the taint into its canonical export
+    assert rules_of(second) == ["REP603", "REP603"]
+    assert {f.path.split("/")[-1] for f in second.active} == \
+        {"helper.py", "sink.py"}
+
+
+def test_constant_edit_keeps_other_modules_cached(tmp_path):
+    """Touching a functionless module must not invalidate the world:
+    the fingerprint hashes the summary table, not the tree."""
+    root = tmp_path / "proj"
+    root.mkdir()
+    tree = _two_module_tree(root)
+    cache = DiskCache(tmp_path / "cache")
+    Analyzer(only=REP_RULES).run(root, rel_base=root, cache=cache)
+
+    (tree / "constants.py").write_text("X = 2\n")
+    second = Analyzer(only=REP_RULES).run(root, rel_base=root,
+                                          cache=cache)
+    assert second.cache_misses == 1
+    assert second.cache_hits == 2
+
+
+# -- Hypothesis: sanitizer recognition is order-insensitive ------------------
+
+_TAINTED = (
+    "def canonical_export():\n"
+    "    tags = {'x', 'y', 'z'}\n"
+    "    return ','.join(tags)\n")
+_SANITIZED = (
+    "def canonical_export():\n"
+    "    tags = {'x', 'y', 'z'}\n"
+    "    return ','.join(sorted(tags))\n")
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.permutations([True, True, False, False, False]))
+def test_sanitizer_recognition_is_order_insensitive(tmp_path_factory,
+                                                    tainted_flags):
+    """However tainted and sanitized sink definitions interleave in a
+    module, exactly the tainted ones are flagged -- recognition must
+    not depend on statement order or on analysis state leaking between
+    functions."""
+    tmp_path = tmp_path_factory.mktemp("order")
+    source = "\n".join(_TAINTED if tainted else _SANITIZED
+                       for tainted in tainted_flags)
+    report = run_source(tmp_path, source)
+    assert rules_of(report) == ["REP602"] * sum(tainted_flags)
+    # the tainted definitions sit at the right source offsets
+    flagged = sorted(f.line for f in report.active)
+    expected = [4 * i + 3 for i, t in enumerate(tainted_flags) if t]
+    assert flagged == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.permutations(["'a'", "'b'", "'c'", "'d'", "'e'"]))
+def test_sorted_sanitizes_any_literal_order(tmp_path_factory, elts):
+    tmp_path = tmp_path_factory.mktemp("elts")
+    source = ("def canonical_export():\n"
+              f"    tags = {{{', '.join(elts)}}}\n"
+              "    return ','.join(sorted(tags))\n")
+    report = run_source(tmp_path, source)
+    assert not report.active
+
+
+# -- goldens and the whole-repo criterion ------------------------------------
+
+@pytest.fixture(scope="module")
+def fixture_report():
+    return Analyzer(only=REP_RULES).run(FIXTURES, rel_base=FIXTURES)
+
+
+def test_every_rep_id_fires_exactly_once_on_fixtures(fixture_report):
+    assert sorted(f.rule for f in fixture_report.active) == [
+        "REP601", "REP602", "REP603", "REP604", "REP605", "REP606"]
+    assert all(f.trace for f in fixture_report.active)
+
+
+def test_clean_control_stays_clean(fixture_report):
+    assert not any(f.path.startswith("clean_")
+                   for f in fixture_report.active)
+
+
+def test_rep_json_matches_golden(fixture_report):
+    from repro.check import render_json
+    golden = (GOLDEN_DIR / "rep_fixture.json").read_text()
+    assert render_json(fixture_report, strict=True) == golden
+
+
+def test_rep_sarif_matches_golden(fixture_report):
+    from repro.check import render_sarif
+    golden = (GOLDEN_DIR / "rep_fixture.sarif").read_text()
+    assert render_sarif(fixture_report) == golden
+
+
+def test_rep_sarif_carries_traces(fixture_report):
+    from repro.check import render_sarif
+    doc = json.loads(render_sarif(fixture_report))
+    (run,) = doc["runs"]
+    for result in run["results"]:
+        assert result["properties"]["trace"], result["ruleId"]
+
+
+def test_repo_is_rep_clean_at_head():
+    """The acceptance criterion: `jubench check --select REP --strict`
+    exits 0 at HEAD, with only the justified stream.py timing read
+    baselined."""
+    baseline = load_baseline(REPO_ROOT / "check-baseline.json")
+    report = Analyzer(only=REP_RULES, baseline=baseline).run(
+        REPO_ROOT / "src" / "repro", rel_base=REPO_ROOT)
+    assert not report.active, [f.render() for f in report.active]
+    assert not report.unused_baseline
+    assert not report.failed(strict=True)
+    assert [(f.rule, f.path) for f in report.baselined] == \
+        [("REP603", "src/repro/synthetic/stream.py")]
+    (baselined,) = report.baselined
+    assert baselined.justification

@@ -177,6 +177,27 @@ def test_locked_mutations_clean(report):
     assert 12 not in lines and 18 not in lines
 
 
+# -- reproducibility taint ---------------------------------------------------
+
+def test_wall_clock_escaping_model_return_is_rep603(report):
+    # stamp() returns (t, now): the wall-clock values escape the model
+    # function, which DET001 (call sites only) cannot see
+    assert locations(report, "REP603") == {
+        ("apps/bad_determinism.py", 14),
+    }
+    (finding,) = by_rule(report, "REP603")
+    assert finding.severity is Severity.WARNING
+    assert finding.trace  # the inference chain ships with the finding
+
+
+def test_rep_quiet_on_sanitized_fixtures(report):
+    # the other fixtures exercise DET/CON/UNIT/LCK sources without
+    # letting taint reach a sink; REP must not double-report them
+    rep = [f for f in report.active if f.rule.startswith("REP")
+           and f.rule != "REP603"]
+    assert rep == []
+
+
 # -- suppressions ------------------------------------------------------------
 
 def test_inline_allows_suppress(report):
@@ -202,7 +223,7 @@ def test_failed_depends_on_strict(tmp_path):
     tree.mkdir()
     (tree / "m.py").write_text(
         "import time\n\n\ndef f():\n"
-        "    return time.time()  # repro: allow(DET001)\n")
+        "    t = time.time()  # repro: allow(DET001)\n")
     report = Analyzer().run(tmp_path, rel_base=tmp_path)
     assert not report.active
     assert not report.failed(strict=False)
